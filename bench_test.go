@@ -1,0 +1,384 @@
+// Benchmarks regenerating the paper's evaluation tables (§5) plus
+// ablations of the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkTable1 measures dataset generation + statistics (the Table 1
+// inputs); BenchmarkTable3 measures every (dataset × system × query)
+// cell of Table 3 at benchmark scale. cmd/blossombench prints the same
+// grids in the paper's row/column format and at configurable scale.
+package blossomtree_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blossomtree"
+	"blossomtree/internal/bench"
+	"blossomtree/internal/core"
+	"blossomtree/internal/join"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/nok"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/storage"
+	"blossomtree/internal/xmlgen"
+	"blossomtree/internal/xmltree"
+	"blossomtree/internal/xpath"
+)
+
+// benchNodes is the per-dataset element count used by the benchmarks:
+// small enough that the full grid runs in minutes, large enough that the
+// asymptotic differences between the join algorithms show.
+const benchNodes = 20000
+
+var (
+	dsCache   = map[string]*bench.Dataset{}
+	dsCacheMu sync.Mutex
+)
+
+func dataset(b *testing.B, id string) *bench.Dataset {
+	b.Helper()
+	dsCacheMu.Lock()
+	defer dsCacheMu.Unlock()
+	if ds, ok := dsCache[id]; ok {
+		return ds
+	}
+	ds, err := bench.LoadDataset(id, benchNodes, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsCache[id] = ds
+	return ds
+}
+
+// BenchmarkTable1 regenerates each dataset and computes its Table 1
+// statistics.
+func BenchmarkTable1(b *testing.B) {
+	for _, id := range bench.Datasets() {
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				doc := xmlgen.MustGenerate(id, xmlgen.Config{Seed: int64(i), TargetNodes: benchNodes})
+				s := xmltree.ComputeStats(doc)
+				if s.Elements == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 measures every cell of Table 3: the running time of
+// the navigational baseline (XH), TwigStack (TS), the pipelined join
+// (PL, non-recursive datasets) and the bounded nested-loop join (NL,
+// recursive datasets) on the six Appendix-A queries of each dataset.
+func BenchmarkTable3(b *testing.B) {
+	for _, id := range bench.Datasets() {
+		ds := dataset(b, id)
+		for _, sys := range bench.Systems() {
+			if !bench.Applicable(sys, ds.Stats.Recursive) {
+				continue
+			}
+			for _, q := range bench.Suite(id) {
+				b.Run(fmt.Sprintf("%s/%s/%s", id, sys, q.ID), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						cell := bench.RunCell(ds, q, sys, time.Hour)
+						if cell.Err != nil {
+							b.Fatal(cell.Err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMergedScans compares evaluating a multi-NoK query
+// with one shared document traversal (the merged-NoK optimization of
+// §4.2) against one sequential scan per NoK.
+func BenchmarkAblationMergedScans(b *testing.B) {
+	ds := dataset(b, "d3")
+	eng := blossomtree.NewEngineNoIndexes()
+	eng.LoadDocument("d3", ds.Doc)
+	query := `//publisher[//mailing_address]//street_address`
+	for _, merged := range []bool{false, true} {
+		name := "separate-scans"
+		if merged {
+			name = "merged-scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eng.QueryWith(query, blossomtree.Options{
+					Strategy:   blossomtree.StrategyPipelined,
+					MergeScans: merged,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Nodes()) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBoundedVsNaiveNL compares the bounded nested-loop
+// join (inner scan restricted to the outer match's region, §4.3)
+// against the naive variant that rescans the whole document per pair.
+func BenchmarkAblationBoundedVsNaiveNL(b *testing.B) {
+	ds := dataset(b, "d1")
+	q, err := core.FromPath(xpath.MustParse(`//b1//c2//b1`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []plan.Strategy{plan.BoundedNL, plan.NaiveNL} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := plan.Build(q, ds.Doc, plan.Options{Strategy: strat, Stats: ds.Stats})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndexAnchors compares pipelined-join plans whose NoK
+// anchors come from tag indexes against pure sequential scans (the
+// stream-context configuration of §5.2).
+func BenchmarkAblationIndexAnchors(b *testing.B) {
+	ds := dataset(b, "d5")
+	q, err := core.FromPath(xpath.MustParse(`//phdthesis[//author][//school]`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		opts plan.Options
+	}{
+		{"seq-scan", plan.Options{Strategy: plan.Pipelined, Stats: ds.Stats}},
+		{"index-anchors", plan.Options{Strategy: plan.Pipelined, Stats: ds.Stats, Index: ds.Index}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := plan.Build(q, ds.Doc, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroNoKMatch measures the raw NoK pattern-matching operator:
+// one full sequential scan of d2 with a three-vertex NoK tree.
+func BenchmarkMicroNoKMatch(b *testing.B) {
+	ds := dataset(b, "d2")
+	q, err := core.FromPath(xpath.MustParse(`//address[street_address]/zip_code`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.Decompose(q.Tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nok.NewMatcher(d.NoKs[1], q.Return)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := nok.Scan(m, ds.Doc); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkMicroTwigStack measures the holistic join alone on a
+// three-level twig over d4.
+func BenchmarkMicroTwigStack(b *testing.B) {
+	ds := dataset(b, "d4")
+	q, err := core.FromPath(xpath.MustParse(`//VP[//NP]//JJ`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := q.Tree.Roots[0].Children[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts, err := join.NewTwigStack(root, ds.Index)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ts.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroStackJoin measures the binary structural join on the two
+// largest inverted lists of d4.
+func BenchmarkMicroStackJoin(b *testing.B) {
+	ds := dataset(b, "d4")
+	ancs := ds.Index.Nodes("VP")
+	descs := ds.Index.Nodes("NN")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := join.StackJoin(ancs, descs); len(got) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkMicroParse measures XML parsing throughput (bytes reported
+// per op).
+func BenchmarkMicroParse(b *testing.B) {
+	ds := dataset(b, "d5")
+	text := xmltree.Serialize(ds.Doc.Root, xmltree.WriteOptions{})
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmltree.ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroExample1 measures the paper's flagship FLWOR end to end
+// on a generated bibliography.
+func BenchmarkMicroExample1(b *testing.B) {
+	doc := xmlgen.MustGenerate("d5", xmlgen.Config{Seed: 2, TargetNodes: 4000})
+	eng := blossomtree.NewEngine()
+	eng.LoadDocument("bib.xml", doc)
+	query := `for $b1 in doc("bib.xml")//book, $b2 in doc("bib.xml")//book
+		where $b1 << $b2 and deep-equal($b1/author, $b2/author)
+		return <pair>{ $b1/title }{ $b2/title }</pair>`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNestedListForms compares projection on the two
+// physical forms of the NestedList ADT: the pointer-based build form
+// (Algorithm 2's output) and the compact columnar form of Figure 6.
+func BenchmarkAblationNestedListForms(b *testing.B) {
+	ds := dataset(b, "d2")
+	// One large instance: every address with its zip codes, grouped
+	// under a single addresses item.
+	bt := core.NewBlossomTree()
+	root := bt.AddRoot("d2")
+	addresses := bt.NewVertex("addresses")
+	bt.AddChild(root, addresses, core.RelDescendant, core.Mandatory)
+	address := bt.NewVertex("address")
+	bt.AddChild(addresses, address, core.RelChild, core.Mandatory)
+	zip := bt.NewVertex("zip_code")
+	bt.AddChild(address, zip, core.RelChild, core.Optional)
+	addresses.Returning = true
+	address.Returning = true
+	zip.Returning = true
+	rt := bt.Finalize()
+
+	d, err := core.Decompose(bt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := nok.NewMatcher(d.NoKs[1], rt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls := nok.Scan(m, ds.Doc)
+	if len(ls) != 1 {
+		b.Fatalf("instances = %d, want 1", len(ls))
+	}
+	l := ls[0]
+	addrSlot := 2 // super-root=0, addresses=1, address=2
+	compact := nestedlist.FromList(l)
+
+	b.Run("pointer-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := l.ProjectSlot(addrSlot); len(got) == 0 {
+				b.Fatal("empty projection")
+			}
+		}
+	})
+	b.Run("compact-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := compact.ProjectSlot(addrSlot); len(got) == 0 {
+				b.Fatal("empty projection")
+			}
+		}
+	})
+	b.Run("convert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if c := nestedlist.FromList(l); len(c.Nodes) == 0 {
+				b.Fatal("conversion failed")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCostModel measures planning overhead with the
+// rule-based chooser vs the cost model.
+func BenchmarkAblationCostModel(b *testing.B) {
+	ds := dataset(b, "d5")
+	q, err := core.FromPath(xpath.MustParse(`//www[//editor][//title][//year]`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []plan.Strategy{plan.Auto, plan.CostBased} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := plan.Build(q, ds.Doc, plan.Options{Strategy: strat, Index: ds.Index, Stats: ds.Stats})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicroStorage measures the succinct segment encode/scan/decode
+// path against tree construction from XML text.
+func BenchmarkMicroStorage(b *testing.B) {
+	ds := dataset(b, "d3")
+	seg := storage.Encode(ds.Doc)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s := storage.Encode(ds.Doc); s.Nodes() == 0 {
+				b.Fatal("empty segment")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			events := 0
+			if err := seg.Scan(func(storage.Event) bool { events++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			if events == 0 {
+				b.Fatal("no events")
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := seg.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package blossomtree is an XQuery/XPath evaluation engine built on the
+// BlossomTree formalism of Zhang, Agrawal and Özsu ("BlossomTree:
+// Evaluating XPaths in FLWOR Expressions", ICDE 2005 / UW TR
+// CS-2004-58).
+//
+// The engine compiles a FLWOR expression (or a bare path expression)
+// into a BlossomTree — an annotated graph capturing every path
+// expression of the query and their correlations (variable references,
+// structural relationships such as <<, value comparisons, deep-equal) —
+// decomposes it into navigational NoK pattern trees, and evaluates the
+// pieces with a cost-rule-driven mix of physical operators: NoK
+// sequential/index scans, the pipelined merge //-join, the bounded
+// nested-loop //-join, naive nested-loop joins for crossing predicates,
+// and the holistic TwigStack join over tag indexes.
+//
+// Basic usage:
+//
+//	e := blossomtree.NewEngine()
+//	if err := e.LoadString("bib.xml", xmlText); err != nil { … }
+//	res, err := e.Query(`for $b in doc("bib.xml")//book
+//	                     where $b/price < 50
+//	                     return <cheap>{ $b/title }</cheap>`)
+//	fmt.Println(res.XML())
+//
+// Path queries return nodes directly:
+//
+//	res, _ := e.Query(`//book[author/last="Knuth"]/title`)
+//	for _, n := range res.Nodes() { fmt.Println(n.Text()) }
+package blossomtree
+
+import (
+	"fmt"
+	"io"
+
+	"blossomtree/internal/exec"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/storage"
+	"blossomtree/internal/xmltree"
+)
+
+// Strategy selects the structural-join algorithm family, mirroring the
+// systems compared in the paper's evaluation.
+type Strategy string
+
+// Available strategies.
+const (
+	// StrategyAuto lets the optimizer choose from document statistics:
+	// pipelined joins on non-recursive documents, TwigStack on recursive
+	// documents with indexes, bounded nested loops otherwise.
+	StrategyAuto Strategy = "auto"
+	// StrategyPipelined forces the pipelined merge //-join (PL). Only
+	// sound on non-recursive documents.
+	StrategyPipelined Strategy = "pipelined"
+	// StrategyBoundedNL forces the bounded nested-loop //-join (NL).
+	StrategyBoundedNL Strategy = "bounded-nl"
+	// StrategyTwigStack forces the holistic TwigStack join (TS).
+	// Requires tag indexes (enabled by default).
+	StrategyTwigStack Strategy = "twigstack"
+	// StrategyNavigational evaluates the whole query by naive tree
+	// navigation (the straightforward-approach baseline).
+	StrategyNavigational Strategy = "navigational"
+	// StrategyCostBased picks the cheapest sound strategy from the cost
+	// model (the paper's future-work optimizer, implemented here).
+	StrategyCostBased Strategy = "cost"
+)
+
+func (s Strategy) toPlan() (plan.Strategy, error) {
+	switch s {
+	case StrategyAuto, "":
+		return plan.Auto, nil
+	case StrategyPipelined:
+		return plan.Pipelined, nil
+	case StrategyBoundedNL:
+		return plan.BoundedNL, nil
+	case StrategyTwigStack:
+		return plan.Twig, nil
+	case StrategyNavigational:
+		return plan.Navigational, nil
+	case StrategyCostBased:
+		return plan.CostBased, nil
+	default:
+		return plan.Auto, fmt.Errorf("blossomtree: unknown strategy %q", s)
+	}
+}
+
+// Options tunes query evaluation.
+type Options struct {
+	// Strategy forces a join algorithm; default Auto.
+	Strategy Strategy
+	// MergeScans evaluates all sequentially-scanned NoK pattern trees in
+	// a single shared document traversal (the merged-NoK optimization).
+	MergeScans bool
+}
+
+// Engine evaluates queries over loaded documents. An Engine is not safe
+// for concurrent use; evaluation itself does not mutate documents, so
+// read-only concurrent queries over separate Engines sharing no state
+// are fine.
+type Engine struct {
+	inner *exec.Engine
+}
+
+// NewEngine returns an engine with tag-index support enabled.
+func NewEngine() *Engine {
+	return &Engine{inner: exec.New()}
+}
+
+// NewEngineNoIndexes returns an engine without tag indexes (the
+// streaming configuration: TwigStack unavailable, NoK scans always
+// sequential).
+func NewEngineNoIndexes() *Engine {
+	return &Engine{inner: exec.NewWithConfig(exec.Config{BuildIndexes: false})}
+}
+
+// Load parses an XML document from r and registers it under uri (the
+// name used by doc("…") in queries). The first loaded document also
+// serves absolute paths.
+func (e *Engine) Load(uri string, r io.Reader) error {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return err
+	}
+	doc.Name = uri
+	e.inner.Add(uri, doc)
+	return nil
+}
+
+// LoadString parses a document from a string.
+func (e *Engine) LoadString(uri, xml string) error {
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		return err
+	}
+	doc.Name = uri
+	e.inner.Add(uri, doc)
+	return nil
+}
+
+// LoadFile parses the named file and registers it under uri.
+func (e *Engine) LoadFile(uri, path string) error {
+	doc, err := xmltree.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	e.inner.Add(uri, doc)
+	return nil
+}
+
+// LoadDocument registers an already-built document (e.g. from the
+// generator tooling).
+func (e *Engine) LoadDocument(uri string, doc *xmltree.Document) {
+	e.inner.Add(uri, doc)
+}
+
+// LoadSegment registers a document stored in the succinct binary
+// segment format (see internal/storage and cmd/xmlgen -binary).
+func (e *Engine) LoadSegment(uri string, data []byte) error {
+	var seg storage.Segment
+	if err := seg.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	doc, err := seg.Decode()
+	if err != nil {
+		return err
+	}
+	doc.Name = uri
+	e.inner.Add(uri, doc)
+	return nil
+}
+
+// EncodeSegment serializes a loaded document into the succinct binary
+// segment format.
+func (e *Engine) EncodeSegment(uri string) ([]byte, error) {
+	doc, err := e.resolve(uri)
+	if err != nil {
+		return nil, err
+	}
+	return storage.Encode(doc).MarshalBinary()
+}
+
+// Stats returns statistics of the document registered under uri — the
+// inputs to the optimizer's strategy rules.
+func (e *Engine) Stats(uri string) (DocumentStats, error) {
+	doc, err := e.resolve(uri)
+	if err != nil {
+		return DocumentStats{}, err
+	}
+	s := xmltree.ComputeStats(doc)
+	return DocumentStats{
+		Nodes:     s.Nodes,
+		Elements:  s.Elements,
+		MaxDepth:  s.MaxDepth,
+		AvgDepth:  s.AvgDepth,
+		Tags:      s.Tags,
+		Recursive: s.Recursive,
+		Bytes:     s.Bytes,
+	}, nil
+}
+
+func (e *Engine) resolve(uri string) (*xmltree.Document, error) {
+	if doc, ok := e.inner.Document(uri); ok {
+		return doc, nil
+	}
+	return nil, fmt.Errorf("blossomtree: no document registered for %q", uri)
+}
+
+// DocumentStats summarizes a loaded document.
+type DocumentStats struct {
+	Nodes     int
+	Elements  int
+	MaxDepth  int
+	AvgDepth  float64
+	Tags      int
+	Recursive bool
+	Bytes     int64
+}
+
+// Query evaluates a query with the Auto strategy.
+func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryWith(src, Options{})
+}
+
+// QueryWith evaluates a query with explicit options.
+func (e *Engine) QueryWith(src string, opts Options) (*Result, error) {
+	strat, err := opts.Strategy.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.inner.EvalOptions(src, plan.Options{
+		Strategy:   strat,
+		MergeScans: opts.MergeScans,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
+
+// Explain compiles a query and renders the physical plan the optimizer
+// chose: the NoK decomposition, access methods, join operators and
+// crossing-edge placement.
+func (e *Engine) Explain(src string) (string, error) {
+	return e.inner.Explain(src)
+}

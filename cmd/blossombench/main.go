@@ -1,0 +1,87 @@
+// Command blossombench regenerates the tables of the paper's evaluation
+// section (§5):
+//
+//	blossombench -table 1                 # dataset statistics (Table 1)
+//	blossombench -table 2                 # query categories + Appendix-A suites (Table 2)
+//	blossombench -table 3                 # running-time grid XH/TS/PL/NL (Table 3)
+//	blossombench -table 3 -scale 0.1 -timeout 60s -datasets d1,d5
+//
+// Sizes default to 1/40 of the paper's node counts so the full grid runs
+// in minutes; -scale approaches the published 17–133 MB datasets. The
+// timeout models the paper's 15-minute DNF cutoff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blossomtree/internal/bench"
+	"blossomtree/internal/xmlgen"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 3, "which table to regenerate: 1, 2 or 3")
+		scale    = flag.Float64("scale", 0, "fraction of the paper's node counts (default 1/40)")
+		nodes    = flag.Int("nodes", 0, "fixed element count per dataset (overrides -scale)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-cell DNF timeout (Table 3)")
+		repeats  = flag.Int("repeats", 3, "runs per cell, averaged (the paper averages three)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. d2,d5")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	targets := map[string]int{}
+	for _, in := range xmlgen.Catalog {
+		switch {
+		case *nodes > 0:
+			targets[in.ID] = *nodes
+		case *scale > 0:
+			targets[in.ID] = int(float64(in.PaperNodes) * *scale)
+		}
+	}
+
+	switch *table {
+	case 1:
+		rows, err := bench.RunTable1(*seed, targets)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 1: dataset statistics (generated vs paper)")
+		fmt.Print(bench.FormatTable1(rows))
+	case 2:
+		fmt.Println("Table 2: query categories")
+		fmt.Print(bench.FormatTable2())
+	case 3:
+		cfg := bench.Table3Config{
+			Seed:        *seed,
+			TargetNodes: targets,
+			Timeout:     *timeout,
+			Repeats:     *repeats,
+		}
+		if *datasets != "" {
+			cfg.Datasets = strings.Split(*datasets, ",")
+		}
+		progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+		if *quiet {
+			progress = nil
+		}
+		rows, err := bench.RunTable3(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 3: running time in seconds (DNF = exceeded timeout)")
+		fmt.Print(bench.FormatTable3(rows))
+	default:
+		fatal(fmt.Errorf("unknown table %d", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blossombench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command xmlgen generates the synthetic datasets of the paper's
+// evaluation (Table 1): the recursive-DTD document d1, the XBench-like
+// address (d2) and catalog (d3), and the Treebank-like (d4) and
+// DBLP-like (d5) substitutes for the original real datasets.
+//
+// Usage:
+//
+//	xmlgen -dataset d2 -o address.xml                 # default 1/40 scale
+//	xmlgen -dataset d4 -scale 1.0 -o treebank.xml     # paper-scale node count
+//	xmlgen -dataset d5 -nodes 100000 -seed 7 -o dblp.xml
+//	xmlgen -list                                      # describe the catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blossomtree/internal/storage"
+	"blossomtree/internal/xmlgen"
+	"blossomtree/internal/xmltree"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset ID: d1..d5")
+		out     = flag.String("o", "", "output file (default stdout)")
+		nodes   = flag.Int("nodes", 0, "approximate element count (overrides -scale)")
+		scale   = flag.Float64("scale", 0, "fraction of the paper's node count (default 1/40)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		list    = flag.Bool("list", false, "list the dataset catalog and exit")
+		stats   = flag.Bool("stats", false, "print Table 1 statistics of the generated document to stderr")
+		indent  = flag.Bool("indent", false, "pretty-print the output")
+		binary  = flag.Bool("binary", false, "emit the succinct binary segment format instead of XML")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, in := range xmlgen.Catalog {
+			fmt.Printf("%-3s %-14s %-9s recursive=%-5v paper: %s, %d nodes, avg dep %d, max dep %d, %d tags\n    %s\n",
+				in.ID, in.Name, in.Category, in.Recursive,
+				in.PaperSize, in.PaperNodes, in.PaperAvgDep, in.PaperMaxDep, in.PaperTags,
+				in.Description)
+		}
+		return
+	}
+	if *dataset == "" {
+		fmt.Fprintln(os.Stderr, "xmlgen: -dataset is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	target := *nodes
+	if target == 0 && *scale > 0 {
+		info, ok := xmlgen.LookupInfo(*dataset)
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+		target = int(float64(info.PaperNodes) * *scale)
+	}
+	doc, err := xmlgen.Generate(*dataset, xmlgen.Config{Seed: *seed, TargetNodes: target})
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, xmltree.ComputeStats(doc).String())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		data, err := storage.Encode(doc).MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := xmltree.Write(w, doc.Root, xmltree.WriteOptions{Indent: *indent}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

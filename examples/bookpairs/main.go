@@ -1,0 +1,86 @@
+// Bookpairs runs the paper's Example 1 end to end: the FLWOR expression
+// that pairs distinct books written by the same list of authors,
+// evaluated over the Example 2 document — first through the BlossomTree
+// algebra, then through the naive navigational evaluator, showing the
+// compiled BlossomTree (Figure 1) and the physical plan along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blossomtree"
+)
+
+// example2 is the XML document of the paper's Example 2.
+const example2 = `<bib>
+  <book>
+    <title> Maximum Security </title>
+  </book>
+  <book>
+    <title> The Art of Computer Programming </title>
+    <author>
+      <last> Knuth </last>
+      <first> Donald </first>
+    </author>
+  </book>
+  <book>
+    <title> Terrorist Hunter </title>
+  </book>
+  <book>
+    <title> TeX Book </title>
+    <author>
+      <last> Knuth </last>
+      <first> Donald </first>
+    </author>
+  </book>
+</bib>`
+
+// example1 is the paper's Example 1 query: all pairs of distinct books
+// by the same author list. The first expected pair is the two books
+// with NO authors (two empty sequences are deep-equal), the second is
+// the two Knuth books.
+const example1 = `<bib>{
+  for $book1 in doc("bib.xml")//book,
+      $book2 in doc("bib.xml")//book
+  let $aut1 := $book1/author
+  let $aut2 := $book2/author
+  where $book1 << $book2
+    and not($book1/title = $book2/title)
+    and deep-equal($aut1, $aut2)
+  return
+    <book-pair>
+      { $book1/title }
+      { $book2/title }
+    </book-pair>
+}</bib>`
+
+func main() {
+	eng := blossomtree.NewEngine()
+	if err := eng.LoadString("bib.xml", example2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Example 1 query:")
+	fmt.Println(example1)
+
+	res, err := eng.Query(example1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBlossomTree evaluation —", res.Len(), "book pairs:")
+	fmt.Println(res.XMLIndent())
+
+	fmt.Println("\nExecuted plan:")
+	fmt.Println(res.Plan())
+
+	// Cross-check against the straightforward nested-loop semantics the
+	// paper's introduction warns is inefficient.
+	nav, err := eng.QueryWith(example1, blossomtree.Options{
+		Strategy: blossomtree.StrategyNavigational,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Navigational evaluation agrees:", nav.XML() == res.XML())
+}

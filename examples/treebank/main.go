@@ -1,0 +1,70 @@
+// Treebank demonstrates the engine on deep recursive data — the regime
+// where the paper's pipelined join loses its order-preservation
+// precondition (Theorem 2) and the optimizer must switch to TwigStack
+// or the bounded nested-loop join.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blossomtree"
+	"blossomtree/internal/xmlgen"
+)
+
+func main() {
+	doc := xmlgen.MustGenerate("d4", xmlgen.Config{Seed: 3, TargetNodes: 30000})
+	eng := blossomtree.NewEngine()
+	eng.LoadDocument("treebank.xml", doc)
+
+	st, err := eng.Stats("treebank.xml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parse-tree corpus: %d elements, max depth %d, recursive=%v\n\n",
+		st.Elements, st.MaxDepth, st.Recursive)
+
+	// Grammar-shape queries from the d4 suite.
+	queries := []string{
+		`//VP//VP/NP//NN`,
+		`//VP[//NP][//VB]//JJ`,
+		`//S//SBAR//S`, // recursion through subordinate clauses
+	}
+	for _, q := range queries {
+		// The optimizer picks TwigStack here (recursive document, tag
+		// indexes available).
+		start := time.Now()
+		auto, err := eng.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		autoDur := time.Since(start)
+
+		// Forcing the bounded nested-loop join shows the price of not
+		// having indexes on recursive data.
+		start = time.Now()
+		nl, err := eng.QueryWith(q, blossomtree.Options{Strategy: blossomtree.StrategyBoundedNL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nlDur := time.Since(start)
+
+		if len(auto.Nodes()) != len(nl.Nodes()) {
+			log.Fatalf("strategy disagreement on %s: %d vs %d", q, len(auto.Nodes()), len(nl.Nodes()))
+		}
+		fmt.Printf("%-24s %5d results   auto(TS) %7.2fms   NL %7.2fms\n",
+			q, len(auto.Nodes()),
+			float64(autoDur.Microseconds())/1000, float64(nlDur.Microseconds())/1000)
+	}
+
+	// Pipelined joins are rejected-by-rule here; forcing them is allowed
+	// but unsound on recursive input — the optimizer's Auto rule exists
+	// precisely to avoid that.
+	fmt.Println("\nAuto plan for //VP//VP/NP//NN:")
+	plan, err := eng.Explain(`//VP//VP/NP//NN`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+}

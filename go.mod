@@ -1,0 +1,3 @@
+module blossomtree
+
+go 1.22

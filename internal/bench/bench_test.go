@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blossomtree/internal/naveval"
+	"blossomtree/internal/xpath"
+)
+
+func TestSuiteShape(t *testing.T) {
+	for _, id := range Datasets() {
+		qs := Suite(id)
+		if len(qs) != 6 {
+			t.Fatalf("%s has %d queries, want 6", id, len(qs))
+		}
+		wantCats := []Category{HC, HB, MC, MB, LC, LB}
+		for i, q := range qs {
+			if q.Category != wantCats[i] {
+				t.Errorf("%s %s category = %s, want %s", id, q.ID, q.Category, wantCats[i])
+			}
+			if _, err := xpath.Parse(q.Text); err != nil {
+				t.Errorf("%s %s does not parse: %v", id, q.ID, err)
+			}
+		}
+	}
+	if Suite("nope") != nil {
+		t.Error("unknown dataset should have no suite")
+	}
+}
+
+func TestApplicable(t *testing.T) {
+	if Applicable(PL, true) || !Applicable(PL, false) {
+		t.Error("PL applicability wrong")
+	}
+	if Applicable(NL, false) || !Applicable(NL, true) {
+		t.Error("NL applicability wrong")
+	}
+	if !Applicable(XH, true) || !Applicable(TS, false) {
+		t.Error("XH/TS must always apply")
+	}
+}
+
+// TestQueriesHaveMatches: every suite query returns at least one result
+// on its generated dataset — otherwise the measured cells are vacuous.
+func TestQueriesHaveMatches(t *testing.T) {
+	for _, id := range Datasets() {
+		ds, err := LoadDataset(id, 12000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range Suite(id) {
+			res, err := naveval.EvalPath(ds.Doc, xpath.MustParse(q.Text))
+			if err != nil {
+				t.Fatalf("%s %s: %v", id, q.ID, err)
+			}
+			if len(res) == 0 {
+				t.Errorf("%s %s (%s) has no matches on the generated data", id, q.ID, q.Text)
+			}
+		}
+	}
+}
+
+// TestSelectivityOrdering: within each dataset, the low-selectivity
+// queries return more results than the high-selectivity ones (the
+// Table 2 class structure).
+func TestSelectivityOrdering(t *testing.T) {
+	for _, id := range Datasets() {
+		ds, err := LoadDataset(id, 12000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := func(q Query) int {
+			res, err := naveval.EvalPath(ds.Doc, xpath.MustParse(q.Text))
+			if err != nil {
+				t.Fatalf("%s %s: %v", id, q.ID, err)
+			}
+			return len(res)
+		}
+		qs := Suite(id)
+		hc, lc := count(qs[0]), count(qs[4])
+		if hc >= lc {
+			t.Errorf("%s: hc query returns %d ≥ lc query's %d", id, hc, lc)
+		}
+	}
+}
+
+// TestAllSystemsAgreeOnCounts: every applicable system reports the same
+// result count per cell (the cross-system correctness invariant behind
+// Table 3).
+func TestAllSystemsAgreeOnCounts(t *testing.T) {
+	for _, id := range Datasets() {
+		ds, err := LoadDataset(id, 6000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range Suite(id) {
+			want := -1
+			for _, sys := range Systems() {
+				if !Applicable(sys, ds.Stats.Recursive) {
+					continue
+				}
+				cell := RunCell(ds, q, sys, 30*time.Second)
+				if cell.Err != nil {
+					t.Fatalf("%s %s %s: %v", id, q.ID, sys, cell.Err)
+				}
+				if cell.DNF {
+					t.Fatalf("%s %s %s: unexpected DNF at test scale", id, q.ID, sys)
+				}
+				if want == -1 {
+					want = cell.Results
+				} else if cell.Results != want {
+					t.Errorf("%s %s: %s reports %d results, others %d", id, q.ID, sys, cell.Results, want)
+				}
+			}
+			if want == 0 {
+				t.Logf("%s %s: zero matches at this scale", id, q.ID)
+			}
+		}
+	}
+}
+
+func TestRunCellTimeout(t *testing.T) {
+	ds, err := LoadDataset("d1", 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := RunCell(ds, Suite("d1")[4], NL, time.Nanosecond)
+	if !cell.DNF {
+		t.Errorf("nanosecond deadline should DNF, got %v in %v", cell.Results, cell.Elapsed)
+	}
+	if cell.String() != "DNF" {
+		t.Errorf("cell string = %q", cell.String())
+	}
+}
+
+func TestRunCellBadQuery(t *testing.T) {
+	ds, err := LoadDataset("d2", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := RunCell(ds, Query{ID: "QX", Text: "///"}, TS, time.Second)
+	if cell.Err == nil {
+		t.Error("bad query should error")
+	}
+	if cell.String() != "ERR" {
+		t.Errorf("cell string = %q", cell.String())
+	}
+	cell = RunCell(ds, Query{ID: "QY", Text: "//address"}, System("??"), time.Second)
+	if cell.Err == nil {
+		t.Error("unknown system should error")
+	}
+}
+
+func TestTables(t *testing.T) {
+	rows1, err := RunTable1(11, map[string]int{"d1": 2000, "d2": 2000, "d3": 2000, "d4": 2000, "d5": 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows1) != 5 {
+		t.Fatalf("Table 1 rows = %d", len(rows1))
+	}
+	out := FormatTable1(rows1)
+	for _, frag := range []string{"d1", "dblp", "treebank", "paper nodes"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 output missing %q:\n%s", frag, out)
+		}
+	}
+
+	out2 := FormatTable2()
+	for _, frag := range []string{"hc", "lb", "//addresses", "//phdthesis"} {
+		if !strings.Contains(out2, frag) {
+			t.Errorf("Table 2 output missing %q", frag)
+		}
+	}
+
+	var msgs []string
+	rows3, err := RunTable3(Table3Config{
+		Seed:        11,
+		TargetNodes: map[string]int{"d2": 1500, "d5": 1500},
+		Datasets:    []string{"d2", "d5"},
+		Timeout:     20 * time.Second,
+		Repeats:     2,
+	}, func(s string) { msgs = append(msgs, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d2 and d5 are non-recursive: XH, TS, PL rows each.
+	if len(rows3) != 6 {
+		t.Fatalf("Table 3 rows = %d, want 6", len(rows3))
+	}
+	out3 := FormatTable3(rows3)
+	for _, frag := range []string{"file", "XH", "TS", "PL", "Q6"} {
+		if !strings.Contains(out3, frag) {
+			t.Errorf("Table 3 output missing %q:\n%s", frag, out3)
+		}
+	}
+	if strings.Contains(out3, "NL") && !strings.Contains(out3, "NLJ") {
+		t.Errorf("NL must not run on non-recursive datasets:\n%s", out3)
+	}
+	if len(msgs) == 0 {
+		t.Error("no progress messages")
+	}
+}

@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/index"
+	"blossomtree/internal/naveval"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmlgen"
+	"blossomtree/internal/xmltree"
+	"blossomtree/internal/xpath"
+)
+
+// System is one of the compared engines of Table 3.
+type System string
+
+// Systems. XH is the navigational whole-query evaluator standing in for
+// X-Hive/DB (see DESIGN.md §2); TS, PL and NL are the paper's join
+// operators. Per §5.2, PL applies only to non-recursive datasets (its
+// order-preservation precondition) and NL is reported on the recursive
+// ones where PL is unavailable.
+const (
+	XH System = "XH"
+	TS System = "TS"
+	PL System = "PL"
+	NL System = "NL"
+)
+
+// Systems lists the Table 3 systems in paper order.
+func Systems() []System { return []System{XH, TS, PL, NL} }
+
+// Applicable reports whether the paper runs the system on a dataset of
+// the given recursiveness (Table 3 shows NL on recursive d1/d4, PL on
+// non-recursive d2/d3/d5; XH and TS run everywhere).
+func Applicable(s System, recursive bool) bool {
+	switch s {
+	case PL:
+		return !recursive
+	case NL:
+		return recursive
+	default:
+		return true
+	}
+}
+
+// Dataset is a generated dataset ready for measurement.
+type Dataset struct {
+	ID    string
+	Doc   *xmltree.Document
+	Index *index.TagIndex
+	Stats xmltree.Stats
+}
+
+// LoadDataset generates dataset id at the given node count (0 = default
+// scale) and builds its index and statistics.
+func LoadDataset(id string, targetNodes int, seed int64) (*Dataset, error) {
+	doc, err := xmlgen.Generate(id, xmlgen.Config{Seed: seed, TargetNodes: targetNodes})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		ID:    id,
+		Doc:   doc,
+		Index: index.Build(doc),
+		Stats: xmltree.ComputeStats(doc),
+	}, nil
+}
+
+// Cell is the result of one (dataset, query, system) measurement.
+type Cell struct {
+	Dataset string
+	Query   string
+	System  System
+	Elapsed time.Duration
+	Results int
+	DNF     bool
+	Err     error
+}
+
+// String formats the cell like the paper's table entries.
+func (c Cell) String() string {
+	switch {
+	case c.Err != nil:
+		return "ERR"
+	case c.DNF:
+		return "DNF"
+	default:
+		return fmt.Sprintf("%.3f", c.Elapsed.Seconds())
+	}
+}
+
+// RunCell evaluates one query under one system with a DNF timeout.
+func RunCell(ds *Dataset, q Query, sys System, timeout time.Duration) Cell {
+	cell := Cell{Dataset: ds.ID, Query: q.ID, System: sys}
+	deadline := time.Now().Add(timeout)
+	stop := func() bool { return time.Now().After(deadline) }
+
+	path, err := xpath.Parse(q.Text)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	start := time.Now()
+	var n int
+	switch sys {
+	case XH:
+		n, err = runNavigational(ds, path, stop)
+	default:
+		n, err = runPlanned(ds, path, sys, stop)
+	}
+	cell.Elapsed = time.Since(start)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	if stop() {
+		cell.DNF = true
+		return cell
+	}
+	cell.Results = n
+	return cell
+}
+
+// runNavigational measures the XH stand-in. The navigational evaluator
+// has no internal cancellation; queries at benchmark scale complete in
+// bounded time and the deadline is checked afterwards.
+func runNavigational(ds *Dataset, path *xpath.Path, stop func() bool) (int, error) {
+	res, err := naveval.EvalPath(ds.Doc, path)
+	if err != nil {
+		return 0, err
+	}
+	_ = stop
+	return len(res), nil
+}
+
+// runPlanned measures a BlossomTree plan under a forced join strategy.
+// PL and NL run index-free (the paper: the pipelined join "does not rely
+// on indexes, thus it resembles a sequential scan operator"); TS gets
+// the tag index it requires.
+func runPlanned(ds *Dataset, path *xpath.Path, sys System, stop func() bool) (int, error) {
+	q, err := core.FromPath(path)
+	if err != nil {
+		return 0, err
+	}
+	opts := plan.Options{Stats: ds.Stats, Stop: stop}
+	switch sys {
+	case TS:
+		opts.Strategy = plan.Twig
+		opts.Index = ds.Index
+	case PL:
+		opts.Strategy = plan.Pipelined
+	case NL:
+		opts.Strategy = plan.BoundedNL
+	default:
+		return 0, fmt.Errorf("bench: unknown system %q", sys)
+	}
+	p, err := plan.Build(q, ds.Doc, opts)
+	if err != nil {
+		return 0, err
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		return 0, err
+	}
+	rn, ok := q.Return.ByVar("result")
+	if !ok {
+		return 0, fmt.Errorf("bench: no result slot")
+	}
+	seen := make(map[int]bool)
+	for _, l := range ls {
+		for _, n := range l.ProjectSlot(rn.Slot) {
+			seen[n.Start] = true
+		}
+	}
+	return len(seen), nil
+}
+
+// Table3Config configures a full Table 3 run.
+type Table3Config struct {
+	Seed        int64
+	TargetNodes map[string]int // per dataset; missing = default scale
+	Timeout     time.Duration  // per cell; the paper's 15-minute DNF cutoff scaled down
+	Datasets    []string       // default: all five
+	Repeats     int            // per cell; the paper averages three runs
+}
+
+// Table3Row is one (dataset, system) row of Table 3: six query cells.
+type Table3Row struct {
+	Dataset string
+	System  System
+	Cells   []Cell // Q1..Q6
+}
+
+// RunTable3 executes the full grid and returns the rows in paper order.
+func RunTable3(cfg Table3Config, progress func(string)) ([]Table3Row, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = Datasets()
+	}
+	var rows []Table3Row
+	for _, id := range datasets {
+		ds, err := LoadDataset(id, cfg.TargetNodes[id], cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("dataset %s: %d elements, recursive=%v",
+				id, ds.Stats.Elements, ds.Stats.Recursive))
+		}
+		for _, sys := range Systems() {
+			if !Applicable(sys, ds.Stats.Recursive) {
+				continue
+			}
+			row := Table3Row{Dataset: id, System: sys}
+			for _, q := range Suite(id) {
+				cell := runAveraged(ds, q, sys, cfg)
+				row.Cells = append(row.Cells, cell)
+				if progress != nil {
+					progress(fmt.Sprintf("  %s %s %s: %s (%d results)",
+						id, sys, q.ID, cell, cell.Results))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runAveraged(ds *Dataset, q Query, sys System, cfg Table3Config) Cell {
+	var total time.Duration
+	var last Cell
+	for i := 0; i < cfg.Repeats; i++ {
+		last = RunCell(ds, q, sys, cfg.Timeout)
+		if last.DNF || last.Err != nil {
+			return last
+		}
+		total += last.Elapsed
+	}
+	last.Elapsed = total / time.Duration(cfg.Repeats)
+	return last
+}
+
+// FormatTable3 renders the rows as the paper's Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %-4s %10s %10s %10s %10s %10s %10s\n",
+		"file", "sys.", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6")
+	prev := ""
+	for _, r := range rows {
+		ds := r.Dataset
+		if ds == prev {
+			ds = ""
+		} else {
+			prev = ds
+		}
+		fmt.Fprintf(&sb, "%-5s %-4s", ds, r.System)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&sb, " %10s", c.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Table1Row is one dataset-statistics row.
+type Table1Row struct {
+	Info  xmlgen.Info
+	Stats xmltree.Stats
+}
+
+// RunTable1 generates every dataset and computes its Table 1 statistics.
+func RunTable1(seed int64, targetNodes map[string]int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, id := range Datasets() {
+		ds, err := LoadDataset(id, targetNodes[id], seed)
+		if err != nil {
+			return nil, err
+		}
+		info, _ := xmlgen.LookupInfo(id)
+		rows = append(rows, Table1Row{Info: info, Stats: ds.Stats})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders dataset statistics next to the paper's figures.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-12s %-5s %10s %10s %9s %9s %7s %12s %10s\n",
+		"id", "name", "rec?", "size", "#nodes", "avg dep", "max dep", "|tags|", "paper nodes", "paper size")
+	for _, r := range rows {
+		rec := "N"
+		if r.Stats.Recursive {
+			rec = "Y"
+		}
+		fmt.Fprintf(&sb, "%-4s %-12s %-5s %10s %10d %9.1f %9d %7d %12d %10s\n",
+			r.Info.ID, r.Info.Name, rec, xmltree.FormatBytes(r.Stats.Bytes),
+			r.Stats.Nodes, r.Stats.AvgDepth, r.Stats.MaxDepth, r.Stats.Tags,
+			r.Info.PaperNodes, r.Info.PaperSize)
+	}
+	return sb.String()
+}
+
+// FormatTable2 renders the query-category table.
+func FormatTable2() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %-38s %s\n", "category", "meaning", "example query")
+	for _, r := range Table2 {
+		fmt.Fprintf(&sb, "%-9s %-38s %s\n", r.Category, r.Meaning, r.Example)
+	}
+	sb.WriteString("\nper-dataset suites (Appendix A):\n")
+	for _, id := range Datasets() {
+		for _, q := range Suite(id) {
+			fmt.Fprintf(&sb, "%-3s %s (%s): %s\n", id, q.ID, q.Category, q.Text)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"blossomtree/internal/flwor"
+	"blossomtree/internal/xpath"
+)
+
+// Query is a compiled query: the BlossomTree capturing everything the
+// formalism can express, plus the residual where-conditions that fall
+// outside the conjunctive fragment (disjunctions, negated existence over
+// literals) and are applied by the executor as post-join selections.
+type Query struct {
+	Tree     *BlossomTree
+	Return   *ReturnTree
+	Residual []flwor.Cond
+	// Vars maps variable names to their vertices.
+	Vars map[string]*Vertex
+	// Source is the parsed query this was compiled from.
+	Source flwor.Expr
+}
+
+type builder struct {
+	bt   *BlossomTree
+	vars map[string]*Vertex
+}
+
+// FromPath compiles a bare path expression into a single-pattern-tree
+// BlossomTree whose returning node is the path's endpoint, bound to the
+// pseudo-variable "result".
+func FromPath(p *xpath.Path) (*Query, error) {
+	b := &builder{bt: NewBlossomTree(), vars: map[string]*Vertex{}}
+	end, err := b.pathEndpoint(p, Mandatory, false)
+	if err != nil {
+		return nil, err
+	}
+	if end.IsDocRoot() {
+		return nil, fmt.Errorf("core: path %s returns the document node", p)
+	}
+	end.Returning = true
+	end.ForBound = true
+	if end.Blossom == "" {
+		end.Blossom = "result"
+	}
+	b.vars["result"] = end
+	q := &Query{Tree: b.bt, Vars: b.vars, Source: &flwor.PathExpr{Path: p}}
+	q.Return = b.bt.Finalize()
+	return q, nil
+}
+
+// FromFLWOR compiles a FLWOR expression (or a constructor/path wrapping
+// one) into a BlossomTree, following §3.1: for- and let-clauses grow the
+// pattern trees with "f"/"l" annotated tree edges; where-clause atoms
+// become crossing edges or vertex value constraints; return- and order
+// by-clause paths extend the tree with optional edges. Conditions outside
+// the conjunctive fragment are returned as residual filters.
+func FromFLWOR(e flwor.Expr) (*Query, error) {
+	f, err := findFLWOR(e)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{bt: NewBlossomTree(), vars: map[string]*Vertex{}}
+	q := &Query{Tree: b.bt, Vars: b.vars, Source: e}
+
+	for _, cl := range f.Clauses {
+		mode := Mandatory
+		if cl.Kind == flwor.LetClause {
+			mode = Optional
+		}
+		end, err := b.pathEndpoint(cl.Path, mode, false)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s $%s: %w", cl.Kind, cl.Var, err)
+		}
+		if end.Blossom == "" {
+			end.Blossom = cl.Var
+		}
+		end.Returning = true
+		if cl.Kind == flwor.ForClause && !end.IsDocRoot() {
+			end.ForBound = true
+		}
+		b.vars[cl.Var] = end
+	}
+
+	if f.Where != nil {
+		if err := b.cond(f.Where, q); err != nil {
+			return nil, err
+		}
+	}
+	if f.OrderBy != nil {
+		end, err := b.pathEndpoint(f.OrderBy, Optional, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: order by: %w", err)
+		}
+		end.Returning = true
+	}
+	if err := b.returnPaths(f.Return); err != nil {
+		return nil, err
+	}
+
+	q.Return = b.bt.Finalize()
+	return q, nil
+}
+
+// findFLWOR unwraps constructors down to the single FLWOR body.
+func findFLWOR(e flwor.Expr) (*flwor.FLWOR, error) {
+	switch t := e.(type) {
+	case *flwor.FLWOR:
+		return t, nil
+	case *flwor.ElemCtor:
+		var found *flwor.FLWOR
+		for _, c := range t.Content {
+			f, err := findFLWOR(c)
+			if err != nil {
+				continue
+			}
+			if found != nil {
+				return nil, fmt.Errorf("core: constructor embeds multiple FLWOR expressions; compile them separately")
+			}
+			found = f
+		}
+		if found == nil {
+			return nil, fmt.Errorf("core: constructor contains no FLWOR expression")
+		}
+		return found, nil
+	default:
+		return nil, fmt.Errorf("core: expression %T is not a FLWOR expression", e)
+	}
+}
+
+// pathEndpoint resolves the path's source anchor and extends the tree
+// with its steps, returning the endpoint vertex. reuse allows mapping
+// onto structurally identical existing vertices; it is set for where-,
+// order by- and return-clause extensions (which are existential relative
+// to their anchor blossom, so the same path must map to the same vertex)
+// and clear for for-/let-clause paths (each clause is an independent
+// iteration and needs its own vertex — the two doc()//book clauses of
+// Example 1 produce two book vertices, as in Figure 1).
+func (b *builder) pathEndpoint(p *xpath.Path, mode Mode, reuse bool) (*Vertex, error) {
+	var anchor *Vertex
+	switch p.Source.Kind {
+	case xpath.SourceDoc:
+		anchor = b.bt.AddRoot(p.Source.Doc)
+	case xpath.SourceRoot:
+		anchor = b.bt.AddRoot("")
+	case xpath.SourceVar:
+		v, ok := b.vars[p.Source.Var]
+		if !ok {
+			return nil, fmt.Errorf("unbound variable $%s", p.Source.Var)
+		}
+		anchor = v
+	default:
+		return nil, fmt.Errorf("relative path %s has no anchor in a FLWOR clause", p)
+	}
+	return b.extend(anchor, p.Steps, mode, reuse)
+}
+
+// extend grows the pattern tree along the given steps starting at
+// anchor, reusing structurally identical existing children so that the
+// same path referenced twice (e.g. in where and return) maps to the same
+// vertex. It returns the endpoint vertex.
+func (b *builder) extend(anchor *Vertex, steps []xpath.Step, mode Mode, reuse bool) (*Vertex, error) {
+	cur := anchor
+	for i, st := range steps {
+		switch st.Axis {
+		case xpath.Self:
+			if err := b.predicates(cur, st.Preds, mode); err != nil {
+				return nil, err
+			}
+			continue
+		case xpath.Attribute:
+			if i != len(steps)-1 {
+				return nil, fmt.Errorf("attribute step @%s must be the last step", st.Test)
+			}
+			if len(st.Preds) > 0 {
+				return nil, fmt.Errorf("predicates on attribute steps are outside the fragment")
+			}
+			cur.Constraints = append(cur.Constraints, Constraint{Kind: CAttrExists, Attr: st.Test})
+			return cur, nil
+		}
+		rel := RelChild
+		switch st.Axis {
+		case xpath.Descendant:
+			rel = RelDescendant
+		case xpath.FollowingSibling:
+			rel = RelFollowingSibling
+		}
+		var next *Vertex
+		if reuse {
+			next = b.reuseChild(cur, st, rel)
+		}
+		if next == nil {
+			next = b.bt.NewVertex(st.Test)
+			b.bt.AddChild(cur, next, rel, mode)
+			if err := b.predicates(next, st.Preds, mode); err != nil {
+				return nil, err
+			}
+		} else if next.ParentMode == Optional && mode == Mandatory {
+			next.ParentMode = Mandatory
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// reuseChild finds an existing equivalent child vertex for a
+// predicate-free name-test step.
+func (b *builder) reuseChild(parent *Vertex, st xpath.Step, rel Rel) *Vertex {
+	if len(st.Preds) > 0 {
+		return nil
+	}
+	for _, c := range parent.Children {
+		if c.Test == st.Test && c.ParentRel == rel && len(c.Constraints) == 0 {
+			return c
+		}
+	}
+	return nil
+}
+
+// predicates compiles a step's predicate list onto vertex v. Predicates
+// are conjunctive: nested relative paths become mandatory subtrees, value
+// comparisons become vertex constraints, positions become positional
+// constraints. Disjunction and negation inside path predicates are
+// outside the BlossomTree fragment.
+func (b *builder) predicates(v *Vertex, preds []xpath.Expr, mode Mode) error {
+	for _, p := range preds {
+		if err := b.predicate(v, p, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) predicate(v *Vertex, e xpath.Expr, mode Mode) error {
+	switch t := e.(type) {
+	case xpath.And:
+		if err := b.predicate(v, t.L, mode); err != nil {
+			return err
+		}
+		return b.predicate(v, t.R, mode)
+	case xpath.Exists:
+		_, err := b.extend(v, t.Path.Steps, Mandatory, false)
+		return err
+	case xpath.Position:
+		v.Constraints = append(v.Constraints, Constraint{Kind: CPosition, Pos: t.N})
+		return nil
+	case xpath.Compare:
+		return b.comparePredicate(v, t)
+	case xpath.Or:
+		return fmt.Errorf("disjunctive path predicates (%s) are outside the BlossomTree fragment", e)
+	case xpath.Not:
+		return fmt.Errorf("negated path predicates (%s) are outside the BlossomTree fragment", e)
+	default:
+		return fmt.Errorf("unsupported predicate %s", e)
+	}
+}
+
+// comparePredicate attaches a path-vs-literal comparison as a value
+// constraint on the appropriate vertex.
+func (b *builder) comparePredicate(v *Vertex, cmp xpath.Compare) error {
+	left, op, lit, err := normalizeCompare(cmp)
+	if err != nil {
+		return err
+	}
+	target := v
+	steps := left.Steps
+	// "@attr op lit" or "path/@attr op lit": peel a trailing attribute step.
+	attr := ""
+	if n := len(steps); n > 0 && steps[n-1].Axis == xpath.Attribute {
+		attr = steps[n-1].Test
+		steps = steps[:n-1]
+	}
+	// "." (self) contributes no steps.
+	if len(steps) == 1 && steps[0].Axis == xpath.Self && len(steps[0].Preds) == 0 {
+		steps = nil
+	}
+	if len(steps) > 0 {
+		target, err = b.extend(v, steps, Mandatory, false)
+		if err != nil {
+			return err
+		}
+	}
+	if attr != "" {
+		target.Constraints = append(target.Constraints, Constraint{Kind: CAttr, Attr: attr, Op: op, Value: lit})
+	} else {
+		target.Constraints = append(target.Constraints, Constraint{Kind: CValue, Op: op, Value: lit})
+	}
+	return nil
+}
+
+// normalizeCompare orients a comparison so the path is on the left and
+// the literal on the right, flipping the operator if needed.
+func normalizeCompare(cmp xpath.Compare) (*xpath.Path, xpath.CmpOp, string, error) {
+	lit := func(o xpath.Operand) (string, bool) {
+		switch o.Kind {
+		case xpath.OperandString:
+			return o.Str, true
+		case xpath.OperandNumber:
+			return strconv.FormatFloat(o.Num, 'g', -1, 64), true
+		}
+		return "", false
+	}
+	if l, ok := lit(cmp.Right); ok && cmp.Left.Kind == xpath.OperandPath {
+		return cmp.Left.Path, cmp.Op, l, nil
+	}
+	if l, ok := lit(cmp.Left); ok && cmp.Right.Kind == xpath.OperandPath {
+		return cmp.Right.Path, flipOp(cmp.Op), l, nil
+	}
+	return nil, 0, "", fmt.Errorf("comparison %s must relate a path and a literal inside a predicate", cmp)
+}
+
+func flipOp(op xpath.CmpOp) xpath.CmpOp {
+	switch op {
+	case xpath.OpLt:
+		return xpath.OpGt
+	case xpath.OpLe:
+		return xpath.OpGe
+	case xpath.OpGt:
+		return xpath.OpLt
+	case xpath.OpGe:
+		return xpath.OpLe
+	default:
+		return op // = and != are symmetric
+	}
+}
+
+// cond compiles the where-clause. Conjunctions recurse; atoms become
+// crossing edges or value constraints; everything else (disjunctions,
+// negations that are not negated crossings) is residual.
+func (b *builder) cond(c flwor.Cond, q *Query) error {
+	switch t := c.(type) {
+	case flwor.CondAnd:
+		if err := b.cond(t.L, q); err != nil {
+			return err
+		}
+		return b.cond(t.R, q)
+	case flwor.CondNot:
+		if ok, err := b.atom(t.C, true, q); err != nil {
+			return err
+		} else if !ok {
+			q.Residual = append(q.Residual, c)
+		}
+		return nil
+	default:
+		if ok, err := b.atom(c, false, q); err != nil {
+			return err
+		} else if !ok {
+			q.Residual = append(q.Residual, c)
+		}
+		return nil
+	}
+}
+
+// atom tries to compile a single condition (possibly negated) into the
+// BlossomTree. It reports false when the condition must stay residual.
+func (b *builder) atom(c flwor.Cond, negate bool, q *Query) (bool, error) {
+	switch t := c.(type) {
+	case flwor.CondDocOrder:
+		from, to := t.Left, t.Right
+		if !t.Before { // a >> b  ≡  b << a
+			from, to = to, from
+		}
+		fv, err := b.pathEndpoint(from, Mandatory, true)
+		if err != nil {
+			return false, err
+		}
+		tv, err := b.pathEndpoint(to, Mandatory, true)
+		if err != nil {
+			return false, err
+		}
+		b.bt.AddCrossing(&Crossing{From: fv, To: tv, Kind: CrossDocOrder, Negate: negate})
+		return true, nil
+	case flwor.CondDeepEqual:
+		fv, err := b.pathEndpoint(t.Left, Mandatory, true)
+		if err != nil {
+			return false, err
+		}
+		tv, err := b.pathEndpoint(t.Right, Mandatory, true)
+		if err != nil {
+			return false, err
+		}
+		b.bt.AddCrossing(&Crossing{From: fv, To: tv, Kind: CrossDeepEqual, Negate: negate})
+		return true, nil
+	case flwor.CondCmp:
+		if t.Left.Kind == xpath.OperandPath && t.Right.Kind == xpath.OperandPath {
+			fv, err := b.pathEndpoint(t.Left.Path, Mandatory, true)
+			if err != nil {
+				return false, err
+			}
+			tv, err := b.pathEndpoint(t.Right.Path, Mandatory, true)
+			if err != nil {
+				return false, err
+			}
+			b.bt.AddCrossing(&Crossing{From: fv, To: tv, Kind: CrossValue, Op: t.Op, Negate: negate})
+			return true, nil
+		}
+		if negate {
+			return false, nil // not(path = lit) is not a vertex constraint
+		}
+		left, op, lit, err := normalizeCompare(xpath.Compare{Left: t.Left, Op: t.Op, Right: t.Right})
+		if err != nil {
+			return false, nil // literal-vs-literal etc. stays residual
+		}
+		end, err := b.pathEndpoint(&xpath.Path{Source: left.Source}, Mandatory, true)
+		if err != nil {
+			return false, err
+		}
+		return true, b.comparePredicate(end, xpath.Compare{
+			Left:  xpath.Operand{Kind: xpath.OperandPath, Path: relativize(left)},
+			Op:    op,
+			Right: xpath.Operand{Kind: xpath.OperandString, Str: lit},
+		})
+	case flwor.CondExists:
+		if negate {
+			return false, nil
+		}
+		if _, err := b.pathEndpoint(t.Path, Mandatory, true); err != nil {
+			return false, err
+		}
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// relativize strips a path's source, leaving its steps as a relative
+// path.
+func relativize(p *xpath.Path) *xpath.Path {
+	return &xpath.Path{Source: xpath.Source{Kind: xpath.SourceContext}, Steps: p.Steps}
+}
+
+// returnPaths extends the tree with the paths referenced by the
+// return-clause so their endpoints are returning nodes the executor can
+// project. Return-clause edges are optional ("l"): a missing title must
+// not eliminate a result pair.
+func (b *builder) returnPaths(e flwor.Expr) error {
+	switch t := e.(type) {
+	case *flwor.PathExpr:
+		if t.Path.Source.Kind == xpath.SourceVar || t.Path.Source.Kind == xpath.SourceDoc || t.Path.Source.Kind == xpath.SourceRoot {
+			end, err := b.pathEndpoint(t.Path, Optional, true)
+			if err != nil {
+				return fmt.Errorf("core: return: %w", err)
+			}
+			end.Returning = true
+		}
+		return nil
+	case *flwor.Sequence:
+		for _, it := range t.Items {
+			if err := b.returnPaths(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *flwor.ElemCtor:
+		for _, it := range t.Content {
+			if err := b.returnPaths(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *flwor.TextCtor:
+		return nil
+	case *flwor.FLWOR:
+		return fmt.Errorf("core: nested FLWOR expressions in return-clauses are outside the fragment")
+	default:
+		return fmt.Errorf("core: unsupported return expression %T", e)
+	}
+}

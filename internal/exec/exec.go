@@ -1,0 +1,414 @@
+// Package exec is the query executor: it ties the compiler (xpath,
+// flwor, core), the planner (plan) and the algebra (nestedlist, nok,
+// join) into an engine that evaluates queries end to end — the full data
+// flow of the paper's Figure 2: XMLTree → NoK → NestedList →
+// selection/projection/join → variable binding (Env) → construction.
+//
+// The executor owns the stages the algebra leaves abstract: binding
+// variables from instance slots into environments, applying residual
+// where-conditions that fall outside the conjunctive BlossomTree
+// fragment, enforcing FLWOR iteration order and order by, and
+// constructing the output XML document from return-clause constructors.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/flwor"
+	"blossomtree/internal/index"
+	"blossomtree/internal/naveval"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmltree"
+	"blossomtree/internal/xpath"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// BuildIndexes builds tag-name indexes for every added document,
+	// enabling TwigStack plans and index-driven NoK scans. On by default
+	// via New.
+	BuildIndexes bool
+}
+
+// Engine evaluates queries over registered documents.
+type Engine struct {
+	cfg     Config
+	docs    map[string]*xmltree.Document
+	stats   map[string]xmltree.Stats
+	indexes map[string]*index.TagIndex
+	first   string
+}
+
+// New returns an engine with index building enabled.
+func New() *Engine { return NewWithConfig(Config{BuildIndexes: true}) }
+
+// NewWithConfig returns an engine with explicit configuration.
+func NewWithConfig(cfg Config) *Engine {
+	return &Engine{
+		cfg:     cfg,
+		docs:    make(map[string]*xmltree.Document),
+		stats:   make(map[string]xmltree.Stats),
+		indexes: make(map[string]*index.TagIndex),
+	}
+}
+
+// Add registers a document under a URI (the name queries use in
+// doc("…")). The first added document also serves absolute paths and
+// unknown URIs, so single-document queries work regardless of the URI
+// they mention.
+func (e *Engine) Add(uri string, doc *xmltree.Document) {
+	e.docs[uri] = doc
+	e.stats[uri] = xmltree.ComputeStats(doc)
+	if e.cfg.BuildIndexes {
+		e.indexes[uri] = index.Build(doc)
+	}
+	if e.first == "" {
+		e.first = uri
+	}
+}
+
+// Document returns the document registered under uri (with the same
+// first-document fallback queries use) and whether any document could be
+// resolved.
+func (e *Engine) Document(uri string) (*xmltree.Document, bool) {
+	d, err := e.resolve(uri)
+	return d, err == nil
+}
+
+// resolve maps a URI to a document, defaulting to the first document.
+func (e *Engine) resolve(uri string) (*xmltree.Document, error) {
+	if d, ok := e.docs[uri]; ok {
+		return d, nil
+	}
+	if e.first != "" {
+		return e.docs[e.first], nil
+	}
+	return nil, fmt.Errorf("exec: no document registered for %q", uri)
+}
+
+// Result is the outcome of a query evaluation.
+type Result struct {
+	Query     *core.Query
+	Plan      *plan.Plan // nil for navigational evaluation
+	Instances []*nestedlist.List
+	// Envs holds one variable-binding row per surviving iteration, in
+	// FLWOR iteration order (or order-by order).
+	Envs []naveval.Env
+	// Nodes is the node result of path queries (distinct, document
+	// order).
+	Nodes []*xmltree.Node
+	// Output is the constructed XML document when the query has
+	// constructors; nil otherwise.
+	Output *xmltree.Document
+}
+
+// Eval parses and evaluates a query with the Auto strategy.
+func (e *Engine) Eval(src string) (*Result, error) {
+	return e.EvalOptions(src, plan.Options{})
+}
+
+// EvalStrategy evaluates with a forced join strategy.
+func (e *Engine) EvalStrategy(src string, s plan.Strategy) (*Result, error) {
+	return e.EvalOptions(src, plan.Options{Strategy: s})
+}
+
+// EvalOptions evaluates with full planner control.
+func (e *Engine) EvalOptions(src string, opts plan.Options) (*Result, error) {
+	expr, err := flwor.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalExpr(expr, opts)
+}
+
+// EvalExpr evaluates a parsed query.
+func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
+	if opts.Strategy == plan.Navigational {
+		return e.evalNavigational(expr)
+	}
+	q, isPath, err := compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	doc, ix, stats, err := e.planContext(q)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Index == nil {
+		opts.Index = ix
+	}
+	if opts.Stats.Nodes == 0 {
+		opts.Stats = stats
+	}
+	pl, err := plan.Build(q, doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	instances, err := pl.Execute()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, Plan: pl, Instances: instances}
+	if isPath {
+		res.Nodes = projectPathResult(q, instances)
+		return res, nil
+	}
+	if err := e.finishFLWOR(expr, q, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Explain compiles the query and renders its physical plan.
+func (e *Engine) Explain(src string) (string, error) {
+	expr, err := flwor.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	q, _, err := compile(expr)
+	if err != nil {
+		return "", err
+	}
+	doc, ix, stats, err := e.planContext(q)
+	if err != nil {
+		return "", err
+	}
+	pl, err := plan.Build(q, doc, plan.Options{Index: ix, Stats: stats})
+	if err != nil {
+		return "", err
+	}
+	// Building the operator tree records the access-method notes.
+	if _, err := pl.Operator(); err != nil {
+		return "", err
+	}
+	return pl.Explain(), nil
+}
+
+// compile builds the BlossomTree query from a parsed expression.
+func compile(expr flwor.Expr) (*core.Query, bool, error) {
+	if pe, ok := expr.(*flwor.PathExpr); ok {
+		q, err := core.FromPath(pe.Path)
+		return q, true, err
+	}
+	q, err := core.FromFLWOR(expr)
+	return q, false, err
+}
+
+// planContext picks the document all the query's pattern trees anchor at
+// (the engine evaluates single-document queries; the paper's fragment
+// likewise correlates paths over one input document).
+func (e *Engine) planContext(q *core.Query) (*xmltree.Document, *index.TagIndex, xmltree.Stats, error) {
+	var doc *xmltree.Document
+	var uri string
+	for u := range q.Tree.Docs {
+		d, err := e.resolve(u)
+		if err != nil {
+			return nil, nil, xmltree.Stats{}, err
+		}
+		if doc != nil && d != doc {
+			return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: query spans multiple documents (%q, %q); evaluate per document", uri, u)
+		}
+		doc, uri = d, u
+	}
+	if doc == nil {
+		return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: query references no document")
+	}
+	ix := e.indexes[uri]
+	if ix == nil {
+		ix = e.indexes[e.first]
+	}
+	if ix != nil && ix.Document() != doc {
+		ix = nil
+	}
+	st := e.stats[uri]
+	if st.Nodes == 0 {
+		st = e.stats[e.first]
+	}
+	return doc, ix, st, nil
+}
+
+// projectPathResult extracts the path query's node result: the "result"
+// slot across all instances, distinct, in document order.
+func projectPathResult(q *core.Query, ls []*nestedlist.List) []*xmltree.Node {
+	rn, ok := q.Return.ByVar("result")
+	if !ok {
+		return nil
+	}
+	seen := map[*xmltree.Node]bool{}
+	var out []*xmltree.Node
+	for _, l := range ls {
+		for _, n := range l.ProjectSlot(rn.Slot) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// finishFLWOR turns instances into environment rows, applies residual
+// conditions, restores iteration order, applies order by, and constructs
+// the output document.
+func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error {
+	f, err := topFLWOR(expr)
+	if err != nil {
+		return err
+	}
+	envs := make([]naveval.Env, 0, len(res.Instances))
+	for _, l := range res.Instances {
+		env := naveval.Env{}
+		for name := range q.Vars {
+			ns, err := l.ProjectVar(name)
+			if err != nil {
+				return err
+			}
+			env[name] = ns
+		}
+		envs = append(envs, env)
+	}
+
+	// Residual where-conditions (outside the conjunctive fragment).
+	if len(q.Residual) > 0 {
+		kept := envs[:0]
+		for _, env := range envs {
+			ok := true
+			for _, c := range q.Residual {
+				v, err := naveval.EvalCond(e.resolve, env, c)
+				if err != nil {
+					return err
+				}
+				if !v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, env)
+			}
+		}
+		envs = kept
+	}
+
+	// FLWOR iteration order: clause-major document order of the
+	// for-variables.
+	var forVars []string
+	for _, cl := range f.Clauses {
+		if cl.Kind == flwor.ForClause {
+			forVars = append(forVars, cl.Var)
+		}
+	}
+
+	// One row per for-variable combination: operators that enumerate
+	// existential witnesses (TwigStack matches, per-pair joins over
+	// predicate subtrees) may emit the same iteration several times.
+	seen := make(map[string]bool, len(envs))
+	dedup := envs[:0]
+	for _, env := range envs {
+		key := make([]byte, 0, 8*len(forVars))
+		for _, v := range forVars {
+			for _, n := range env[v] {
+				s := n.Start
+				for i := 0; i < 8; i++ {
+					key = append(key, byte(s>>(i*8)))
+				}
+			}
+			key = append(key, '|')
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		dedup = append(dedup, env)
+	}
+	envs = dedup
+	sort.SliceStable(envs, func(i, j int) bool {
+		for _, v := range forVars {
+			a, b := envs[i][v], envs[j][v]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			if a[0].Start != b[0].Start {
+				return a[0].Start < b[0].Start
+			}
+		}
+		return false
+	})
+
+	if f.OrderBy != nil {
+		keys := make([]string, len(envs))
+		for i, env := range envs {
+			ns, err := naveval.EvalPathEnv(e.resolve, env, f.OrderBy)
+			if err != nil {
+				return err
+			}
+			if len(ns) > 0 {
+				keys[i] = xmltree.StringValue(ns[0])
+			}
+		}
+		idx := make([]int, len(envs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		sorted := make([]naveval.Env, len(envs))
+		for i, j := range idx {
+			sorted[i] = envs[j]
+		}
+		envs = sorted
+	}
+	res.Envs = envs
+	return e.constructOutput(expr, f, res)
+}
+
+// evalNavigational runs the whole query through the navigational
+// evaluator (the XH stand-in).
+func (e *Engine) evalNavigational(expr flwor.Expr) (*Result, error) {
+	if pe, ok := expr.(*flwor.PathExpr); ok {
+		// Resolve against the path's own document.
+		uri := ""
+		if pe.Path.Source.Kind == xpath.SourceDoc {
+			uri = pe.Path.Source.Doc
+		}
+		doc, err := e.resolve(uri)
+		if err != nil {
+			return nil, err
+		}
+		nodes, err := naveval.EvalPath(doc, pe.Path)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Nodes: nodes}, nil
+	}
+	f, err := topFLWOR(expr)
+	if err != nil {
+		return nil, err
+	}
+	envs, err := naveval.EvalFLWOR(e.resolve, f)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Envs: envs}
+	return res, e.constructOutput(expr, f, res)
+}
+
+// topFLWOR unwraps constructors down to the single FLWOR body.
+func topFLWOR(expr flwor.Expr) (*flwor.FLWOR, error) {
+	switch t := expr.(type) {
+	case *flwor.FLWOR:
+		return t, nil
+	case *flwor.ElemCtor:
+		for _, c := range t.Content {
+			if f, err := topFLWOR(c); err == nil {
+				return f, nil
+			}
+		}
+		return nil, fmt.Errorf("exec: constructor contains no FLWOR expression")
+	default:
+		return nil, fmt.Errorf("exec: %T is not a FLWOR expression", expr)
+	}
+}

@@ -1,0 +1,210 @@
+// Package flwor implements the FLWOR-expression subset of the paper
+// (§3.1):
+//
+//	FLWOR ::= ( 'for' Var 'in' Path | 'let' Var ':=' Path )+
+//	          ('where' Boolean)?
+//	          ('order' 'by' Path)?
+//	          'return' Expr
+//
+// plus the direct element constructors the paper's Example 1 wraps
+// around FLWOR expressions. The where-clause supports the three kinds of
+// correlations BlossomTree captures: value-based comparisons (=, !=, <,
+// <=, >, >=), structural comparisons (<<, >>), and the mixed
+// structural/value relationship deep-equal(), along with and/or/not and
+// exists().
+package flwor
+
+import (
+	"strings"
+
+	"blossomtree/internal/xpath"
+)
+
+// Expr is any expression: a FLWOR, a path, a constructor, or a sequence.
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// PathExpr wraps a path expression.
+type PathExpr struct{ Path *xpath.Path }
+
+// Sequence is a comma- or adjacency-separated list of expressions
+// (constructor content).
+type Sequence struct{ Items []Expr }
+
+// ElemCtor is a direct element constructor <tag>{…}…</tag>. Content
+// holds the embedded expressions in order.
+type ElemCtor struct {
+	Tag     string
+	Content []Expr
+}
+
+// TextCtor is literal text inside a constructor.
+type TextCtor struct{ Text string }
+
+// ClauseKind discriminates for- and let-clauses.
+type ClauseKind int
+
+// Clause kinds.
+const (
+	ForClause ClauseKind = iota
+	LetClause
+)
+
+// String names the clause kind.
+func (k ClauseKind) String() string {
+	if k == ForClause {
+		return "for"
+	}
+	return "let"
+}
+
+// Clause is a single for- or let-binding.
+type Clause struct {
+	Kind ClauseKind
+	Var  string
+	Path *xpath.Path
+}
+
+// FLWOR is a parsed FLWOR expression.
+type FLWOR struct {
+	Clauses []Clause
+	Where   Cond // nil when absent
+	OrderBy *xpath.Path
+	Return  Expr
+}
+
+func (*PathExpr) isExpr() {}
+func (*Sequence) isExpr() {}
+func (*ElemCtor) isExpr() {}
+func (*TextCtor) isExpr() {}
+func (*FLWOR) isExpr()    {}
+
+// String reprints the path.
+func (e *PathExpr) String() string { return e.Path.String() }
+
+// String reprints the sequence.
+func (e *Sequence) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String reprints the constructor.
+func (e *ElemCtor) String() string {
+	var sb strings.Builder
+	sb.WriteString("<" + e.Tag + ">")
+	for _, c := range e.Content {
+		if t, ok := c.(*TextCtor); ok {
+			sb.WriteString(t.Text)
+			continue
+		}
+		sb.WriteString("{ " + c.String() + " }")
+	}
+	sb.WriteString("</" + e.Tag + ">")
+	return sb.String()
+}
+
+// String reprints the literal text.
+func (e *TextCtor) String() string { return e.Text }
+
+// String reprints the FLWOR expression.
+func (e *FLWOR) String() string {
+	var sb strings.Builder
+	for i, c := range e.Clauses {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if c.Kind == ForClause {
+			sb.WriteString("for $" + c.Var + " in " + c.Path.String())
+		} else {
+			sb.WriteString("let $" + c.Var + " := " + c.Path.String())
+		}
+	}
+	if e.Where != nil {
+		sb.WriteString(" where " + e.Where.String())
+	}
+	if e.OrderBy != nil {
+		sb.WriteString(" order by " + e.OrderBy.String())
+	}
+	sb.WriteString(" return " + e.Return.String())
+	return sb.String()
+}
+
+// Cond is a where-clause condition.
+type Cond interface {
+	String() string
+	isCond()
+}
+
+// CondAnd is conjunction.
+type CondAnd struct{ L, R Cond }
+
+// CondOr is disjunction.
+type CondOr struct{ L, R Cond }
+
+// CondNot is negation.
+type CondNot struct{ C Cond }
+
+// CondCmp is a general value comparison between two operands (paths over
+// variables/documents, or literals).
+type CondCmp struct {
+	Left  xpath.Operand
+	Op    xpath.CmpOp
+	Right xpath.Operand
+}
+
+// CondDocOrder is the structural node comparison << (Before true) or >>.
+type CondDocOrder struct {
+	Left, Right *xpath.Path
+	Before      bool
+}
+
+// CondDeepEqual is deep-equal(a, b): the mixed structural/value
+// relationship of the paper.
+type CondDeepEqual struct{ Left, Right *xpath.Path }
+
+// CondExists is exists(path).
+type CondExists struct{ Path *xpath.Path }
+
+func (CondAnd) isCond()       {}
+func (CondOr) isCond()        {}
+func (CondNot) isCond()       {}
+func (CondCmp) isCond()       {}
+func (CondDocOrder) isCond()  {}
+func (CondDeepEqual) isCond() {}
+func (CondExists) isCond()    {}
+
+// String reprints the condition.
+func (c CondAnd) String() string { return c.L.String() + " and " + c.R.String() }
+
+// String reprints the condition.
+func (c CondOr) String() string { return c.L.String() + " or " + c.R.String() }
+
+// String reprints the condition.
+func (c CondNot) String() string { return "not(" + c.C.String() + ")" }
+
+// String reprints the condition.
+func (c CondCmp) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// String reprints the condition.
+func (c CondDocOrder) String() string {
+	op := " << "
+	if !c.Before {
+		op = " >> "
+	}
+	return c.Left.String() + op + c.Right.String()
+}
+
+// String reprints the condition.
+func (c CondDeepEqual) String() string {
+	return "deep-equal(" + c.Left.String() + ", " + c.Right.String() + ")"
+}
+
+// String reprints the condition.
+func (c CondExists) String() string { return "exists(" + c.Path.String() + ")" }

@@ -1,0 +1,358 @@
+package flwor
+
+import (
+	"fmt"
+
+	"blossomtree/internal/xpath"
+)
+
+// Parse parses a query: a FLWOR expression, a direct element constructor
+// wrapping one (as in the paper's Example 1), or a bare path expression.
+func Parse(src string) (Expr, error) {
+	l := xpath.NewLexer(src)
+	e := parseExpr(l)
+	if l.Err() != nil {
+		return nil, fmt.Errorf("flwor: %w", l.Err())
+	}
+	if l.Tok().Kind != xpath.TokEOF {
+		return nil, fmt.Errorf("flwor: trailing input %q at offset %d", l.Tok().Text, l.Tok().Pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for known-good queries.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parseExpr(l *xpath.Lexer) Expr {
+	switch tok := l.Tok(); {
+	case tok.Kind == xpath.TokLt:
+		return parseCtor(l)
+	case tok.Kind == xpath.TokName && (tok.Text == "for" || tok.Text == "let"):
+		return parseFLWOR(l)
+	default:
+		p, err := xpath.ParseFrom(l)
+		if err != nil {
+			return &PathExpr{Path: &xpath.Path{}}
+		}
+		return &PathExpr{Path: p}
+	}
+}
+
+// parseCtor parses <tag> ( <nested/> | { expr, … } )* </tag>. Literal
+// text content inside constructors is not part of the fragment (the
+// paper's queries only embed evaluated expressions), so anything other
+// than a nested constructor or a braced expression is an error.
+func parseCtor(l *xpath.Lexer) Expr {
+	if !expect(l, xpath.TokLt) {
+		return &ElemCtor{}
+	}
+	if l.Tok().Kind != xpath.TokName {
+		l.Errorf("expected element name in constructor, got %s", l.Tok().Kind)
+		return &ElemCtor{}
+	}
+	ctor := &ElemCtor{Tag: l.Tok().Text}
+	l.Advance()
+	// Self-closing form <tag/>.
+	if l.Tok().Kind == xpath.TokSlash {
+		l.Advance()
+		expect(l, xpath.TokGt)
+		return ctor
+	}
+	if !expect(l, xpath.TokGt) {
+		return ctor
+	}
+	for {
+		switch l.Tok().Kind {
+		case xpath.TokLt:
+			open := l.Tok()
+			l.Advance()
+			if l.Tok().Kind == xpath.TokSlash {
+				// Closing tag.
+				l.Advance()
+				if l.Tok().Kind != xpath.TokName || l.Tok().Text != ctor.Tag {
+					l.Errorf("mismatched closing tag </%s> for <%s>", l.Tok().Text, ctor.Tag)
+					return ctor
+				}
+				l.Advance()
+				expect(l, xpath.TokGt)
+				return ctor
+			}
+			l.Push(open)
+			ctor.Content = append(ctor.Content, parseCtor(l))
+		case xpath.TokLBrace:
+			l.Advance()
+			ctor.Content = append(ctor.Content, parseSeq(l))
+			if !expect(l, xpath.TokRBrace) {
+				return ctor
+			}
+		case xpath.TokEOF:
+			l.Errorf("unterminated constructor <%s>", ctor.Tag)
+			return ctor
+		default:
+			l.Errorf("unexpected %s in constructor <%s> (literal text is outside the fragment)", l.Tok().Kind, ctor.Tag)
+			return ctor
+		}
+	}
+}
+
+// parseSeq parses a comma-separated expression sequence.
+func parseSeq(l *xpath.Lexer) Expr {
+	first := parseExpr(l)
+	if l.Tok().Kind != xpath.TokComma {
+		return first
+	}
+	seq := &Sequence{Items: []Expr{first}}
+	for l.Tok().Kind == xpath.TokComma {
+		l.Advance()
+		seq.Items = append(seq.Items, parseExpr(l))
+	}
+	return seq
+}
+
+func parseFLWOR(l *xpath.Lexer) Expr {
+	f := &FLWOR{}
+	seen := map[string]bool{}
+	for {
+		tok := l.Tok()
+		if tok.Kind != xpath.TokName || (tok.Text != "for" && tok.Text != "let") {
+			break
+		}
+		kind := ForClause
+		if tok.Text == "let" {
+			kind = LetClause
+		}
+		l.Advance()
+		for {
+			if l.Tok().Kind != xpath.TokVar {
+				l.Errorf("expected $variable after %s", kind)
+				return f
+			}
+			v := l.Tok().Text
+			if seen[v] {
+				l.Errorf("variable $%s bound twice", v)
+				return f
+			}
+			seen[v] = true
+			l.Advance()
+			if kind == ForClause {
+				if l.Tok().Kind != xpath.TokName || l.Tok().Text != "in" {
+					l.Errorf("expected 'in' in for-clause")
+					return f
+				}
+				l.Advance()
+			} else if !expect(l, xpath.TokAssign) {
+				return f
+			}
+			p, err := xpath.ParseFrom(l)
+			if err != nil {
+				return f
+			}
+			if err := checkClausePath(p, seen); err != nil {
+				l.Errorf("%s", err)
+				return f
+			}
+			f.Clauses = append(f.Clauses, Clause{Kind: kind, Var: v, Path: p})
+			if l.Tok().Kind != xpath.TokComma {
+				break
+			}
+			l.Advance()
+		}
+	}
+	if len(f.Clauses) == 0 {
+		l.Errorf("FLWOR expression needs at least one for- or let-clause")
+		return f
+	}
+	if kw(l, "where") {
+		f.Where = parseCondOr(l)
+	}
+	if kw(l, "order") {
+		if !kw(l, "by") {
+			l.Errorf("expected 'by' after 'order'")
+			return f
+		}
+		p, err := xpath.ParseFrom(l)
+		if err != nil {
+			return f
+		}
+		f.OrderBy = p
+	}
+	if !kw(l, "return") {
+		l.Errorf("expected 'return' clause, got %q", l.Tok().Text)
+		return f
+	}
+	f.Return = parseExpr(l)
+	return f
+}
+
+// checkClausePath validates that a clause path's source is available:
+// doc(), an already-bound variable, or absolute.
+func checkClausePath(p *xpath.Path, bound map[string]bool) error {
+	if p.Source.Kind == xpath.SourceVar && !bound[p.Source.Var] {
+		return fmt.Errorf("unbound variable $%s", p.Source.Var)
+	}
+	return nil
+}
+
+func parseCondOr(l *xpath.Lexer) Cond {
+	c := parseCondAnd(l)
+	for l.Tok().Kind == xpath.TokName && l.Tok().Text == "or" {
+		l.Advance()
+		c = CondOr{L: c, R: parseCondAnd(l)}
+	}
+	return c
+}
+
+func parseCondAnd(l *xpath.Lexer) Cond {
+	c := parseCondUnary(l)
+	for l.Tok().Kind == xpath.TokName && l.Tok().Text == "and" {
+		l.Advance()
+		c = CondAnd{L: c, R: parseCondUnary(l)}
+	}
+	return c
+}
+
+func parseCondUnary(l *xpath.Lexer) Cond {
+	if tok := l.Tok(); tok.Kind == xpath.TokName {
+		switch tok.Text {
+		case "not":
+			save := tok
+			l.Advance()
+			if l.Tok().Kind == xpath.TokLParen {
+				l.Advance()
+				inner := parseCondOr(l)
+				expect(l, xpath.TokRParen)
+				return CondNot{C: inner}
+			}
+			l.Push(save)
+		case "deep-equal":
+			save := tok
+			l.Advance()
+			if l.Tok().Kind == xpath.TokLParen {
+				l.Advance()
+				a, err := xpath.ParseFrom(l)
+				if err != nil {
+					return CondDeepEqual{}
+				}
+				if !expect(l, xpath.TokComma) {
+					return CondDeepEqual{}
+				}
+				b, err := xpath.ParseFrom(l)
+				if err != nil {
+					return CondDeepEqual{}
+				}
+				expect(l, xpath.TokRParen)
+				return CondDeepEqual{Left: a, Right: b}
+			}
+			l.Push(save)
+		case "exists":
+			save := tok
+			l.Advance()
+			if l.Tok().Kind == xpath.TokLParen {
+				l.Advance()
+				p, err := xpath.ParseFrom(l)
+				if err != nil {
+					return CondExists{}
+				}
+				expect(l, xpath.TokRParen)
+				return CondExists{Path: p}
+			}
+			l.Push(save)
+		}
+	}
+	if l.Tok().Kind == xpath.TokLParen {
+		l.Advance()
+		inner := parseCondOr(l)
+		expect(l, xpath.TokRParen)
+		return inner
+	}
+	return parseCondCmp(l)
+}
+
+func parseCondCmp(l *xpath.Lexer) Cond {
+	left := parseCondOperand(l)
+	switch l.Tok().Kind {
+	case xpath.TokBefore, xpath.TokAfter:
+		before := l.Tok().Kind == xpath.TokBefore
+		l.Advance()
+		right := parseCondOperand(l)
+		if left.Kind != xpath.OperandPath || right.Kind != xpath.OperandPath {
+			l.Errorf("operands of %s must be node paths", map[bool]string{true: "<<", false: ">>"}[before])
+			return CondDocOrder{Before: before}
+		}
+		return CondDocOrder{Left: left.Path, Right: right.Path, Before: before}
+	case xpath.TokEq, xpath.TokNeq, xpath.TokLt, xpath.TokLe, xpath.TokGt, xpath.TokGe:
+		op := tokToCmp(l.Tok().Kind)
+		l.Advance()
+		right := parseCondOperand(l)
+		return CondCmp{Left: left, Op: op, Right: right}
+	default:
+		if left.Kind == xpath.OperandPath {
+			// Bare path: effective boolean value, i.e. existence.
+			return CondExists{Path: left.Path}
+		}
+		l.Errorf("literal condition must be part of a comparison")
+		return CondExists{}
+	}
+}
+
+func parseCondOperand(l *xpath.Lexer) xpath.Operand {
+	switch tok := l.Tok(); tok.Kind {
+	case xpath.TokString:
+		l.Advance()
+		return xpath.Operand{Kind: xpath.OperandString, Str: tok.Text}
+	case xpath.TokNumber:
+		var num float64
+		if _, err := fmt.Sscanf(tok.Text, "%g", &num); err != nil {
+			l.Errorf("bad number %q", tok.Text)
+		}
+		l.Advance()
+		return xpath.Operand{Kind: xpath.OperandNumber, Num: num}
+	default:
+		p, err := xpath.ParseFrom(l)
+		if err != nil {
+			return xpath.Operand{Kind: xpath.OperandPath, Path: &xpath.Path{}}
+		}
+		return xpath.Operand{Kind: xpath.OperandPath, Path: p}
+	}
+}
+
+func tokToCmp(k xpath.TokKind) xpath.CmpOp {
+	switch k {
+	case xpath.TokEq:
+		return xpath.OpEq
+	case xpath.TokNeq:
+		return xpath.OpNeq
+	case xpath.TokLt:
+		return xpath.OpLt
+	case xpath.TokLe:
+		return xpath.OpLe
+	case xpath.TokGt:
+		return xpath.OpGt
+	default:
+		return xpath.OpGe
+	}
+}
+
+// kw consumes the given keyword if present.
+func kw(l *xpath.Lexer, word string) bool {
+	if l.Tok().Kind == xpath.TokName && l.Tok().Text == word {
+		l.Advance()
+		return true
+	}
+	return false
+}
+
+func expect(l *xpath.Lexer, k xpath.TokKind) bool {
+	if l.Tok().Kind != k {
+		l.Errorf("expected %s, got %s", k, l.Tok().Kind)
+		return false
+	}
+	l.Advance()
+	return true
+}

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"testing"
+
+	"blossomtree/internal/xmltree"
+)
+
+func buildDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(`<a><b/><c><b/><d>t</d></c><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	ix := Build(buildDoc(t))
+	if got := ix.Count("b"); got != 3 {
+		t.Errorf("Count(b) = %d, want 3", got)
+	}
+	if got := ix.Count("a"); got != 1 {
+		t.Errorf("Count(a) = %d, want 1", got)
+	}
+	if got := ix.Count("zzz"); got != 0 {
+		t.Errorf("Count(zzz) = %d, want 0", got)
+	}
+	if got := ix.TotalElements(); got != 6 {
+		t.Errorf("TotalElements = %d, want 6", got)
+	}
+	if got := len(ix.Nodes("*")); got != 6 {
+		t.Errorf("Nodes(*) = %d, want 6", got)
+	}
+	bs := ix.Nodes("b")
+	for i := 1; i < len(bs); i++ {
+		if !bs[i-1].Before(bs[i]) {
+			t.Error("inverted list not in document order")
+		}
+	}
+	tags := ix.Tags()
+	want := []string{"a", "b", "c", "d"}
+	if len(tags) != len(want) {
+		t.Fatalf("Tags = %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("Tags[%d] = %q, want %q", i, tags[i], want[i])
+		}
+	}
+	if s := ix.Selectivity("b"); s != 0.5 {
+		t.Errorf("Selectivity(b) = %v, want 0.5", s)
+	}
+	if ix.Document() == nil {
+		t.Error("Document() is nil")
+	}
+}
+
+func TestSelectivityEmpty(t *testing.T) {
+	ix := &TagIndex{lists: map[string][]*xmltree.Node{}}
+	if s := ix.Selectivity("x"); s != 0 {
+		t.Errorf("Selectivity on empty index = %v", s)
+	}
+}
+
+func TestStream(t *testing.T) {
+	ix := Build(buildDoc(t))
+	s := ix.Stream("b")
+	if s.Len() != 3 || s.EOF() {
+		t.Fatalf("fresh stream: Len=%d EOF=%v", s.Len(), s.EOF())
+	}
+	first := s.Head()
+	if first == nil || first.Tag != "b" {
+		t.Fatalf("Head = %v", first)
+	}
+	if got := s.Next(); got != first {
+		t.Error("Next did not return head")
+	}
+	s.Advance()
+	s.Advance()
+	if !s.EOF() || s.Head() != nil || s.Next() != nil {
+		t.Error("stream should be exhausted")
+	}
+	s.Advance() // no-op past EOF
+	if s.Len() != 0 {
+		t.Errorf("Len past EOF = %d", s.Len())
+	}
+	s.Reset()
+	if s.Head() != first {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestStreamSkipTo(t *testing.T) {
+	ix := Build(buildDoc(t))
+	s := ix.Stream("b")
+	b3 := ix.Nodes("b")[2]
+	s.SkipTo(b3.Start)
+	if s.Head() != b3 {
+		t.Errorf("SkipTo landed on %v, want %v", s.Head(), b3)
+	}
+	// SkipTo never moves backwards.
+	s.SkipTo(0)
+	if s.Head() != b3 {
+		t.Error("SkipTo moved backwards")
+	}
+	s.SkipTo(b3.Start + 1000)
+	if !s.EOF() {
+		t.Error("SkipTo past end should exhaust stream")
+	}
+	s.SkipTo(0) // no-op at EOF
+	if !s.EOF() {
+		t.Error("SkipTo at EOF should stay EOF")
+	}
+}

@@ -1,0 +1,172 @@
+package join
+
+import (
+	"blossomtree/internal/core"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/xmltree"
+)
+
+// Predicate evaluates a join condition between two instances.
+type Predicate func(m, n *nestedlist.List) (bool, error)
+
+// CrossingPredicate adapts a BlossomTree crossing edge to a join
+// predicate over the Dewey slots of its two endpoints.
+func CrossingPredicate(c *core.Crossing, fromSlot, toSlot int) Predicate {
+	return func(m, n *nestedlist.List) (bool, error) {
+		return c.Eval(m.ProjectSlot(fromSlot), n.ProjectSlot(toSlot)), nil
+	}
+}
+
+// DescPredicate is the structural //-join predicate: some node of the
+// outer slot properly contains the inner slot's node.
+func DescPredicate(outerSlot, innerSlot int) Predicate {
+	return func(m, n *nestedlist.List) (bool, error) {
+		inner := n.ProjectSlot(innerSlot)
+		if len(inner) == 0 {
+			return false, nil
+		}
+		return containsAny(m.ProjectSlot(outerSlot), inner[0]), nil
+	}
+}
+
+// NestedLoopJoin is the naive nested-loop join of §4.3, required for the
+// joins that are not order-preserving — <<, following, value-based joins
+// and deep-equal (Example 5 shows why << cannot be pipelined). Both
+// inputs are materialized; every pair is tested.
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Pred         Predicate
+	// Stop, when non-nil, is polled per outer row; returning true ends
+	// the stream early.
+	Stop func() bool
+
+	outer  []*nestedlist.List
+	inner  []*nestedlist.List
+	oi, ii int
+	init   bool
+	Err    error
+}
+
+// GetNext returns the next joined instance or nil.
+func (j *NestedLoopJoin) GetNext() *nestedlist.List {
+	if j.Err != nil {
+		return nil
+	}
+	if !j.init {
+		j.outer = Drain(j.Outer)
+		j.inner = Drain(j.Inner)
+		j.init = true
+	}
+	for ; j.oi < len(j.outer); j.oi++ {
+		if j.Stop != nil && j.Stop() {
+			return nil
+		}
+		for j.ii < len(j.inner) {
+			m, n := j.outer[j.oi], j.inner[j.ii]
+			j.ii++
+			ok, err := j.Pred(m, n)
+			if err != nil {
+				j.Err = err
+				return nil
+			}
+			if !ok {
+				continue
+			}
+			merged, err := nestedlist.Merge(m, n)
+			if err != nil {
+				j.Err = err
+				return nil
+			}
+			return merged
+		}
+		j.ii = 0
+	}
+	return nil
+}
+
+// CrossingFilter applies a crossing predicate whose two endpoints are
+// already present in each input instance (a selection, used after the
+// instances carrying both endpoints have been joined).
+type CrossingFilter struct {
+	Input            Operator
+	Crossing         *core.Crossing
+	FromSlot, ToSlot int
+}
+
+// GetNext returns the next passing instance or nil.
+func (f *CrossingFilter) GetNext() *nestedlist.List {
+	for {
+		l := f.Input.GetNext()
+		if l == nil {
+			return nil
+		}
+		if f.Crossing.Eval(l.ProjectSlot(f.FromSlot), l.ProjectSlot(f.ToSlot)) {
+			return l
+		}
+	}
+}
+
+// PositionFilter keeps only the k-th instance of the stream whose slot
+// projection is non-empty — the σ_position(ID)=k selection of §3.3,
+// applied when a positional predicate lands on a cut-edge target (e.g.
+// //book[2], where position counts across the whole anchor sequence).
+type PositionFilter struct {
+	Input Operator
+	Slot  int
+	Pos   int // 1-based
+
+	seen int
+	done bool
+}
+
+// GetNext returns the selected instance once, then nil.
+func (f *PositionFilter) GetNext() *nestedlist.List {
+	if f.done {
+		return nil
+	}
+	for {
+		l := f.Input.GetNext()
+		if l == nil {
+			f.done = true
+			return nil
+		}
+		if len(l.ProjectSlot(f.Slot)) == 0 {
+			continue
+		}
+		f.seen++
+		if f.seen == f.Pos {
+			f.done = true
+			return l
+		}
+	}
+}
+
+// SelectFilter applies a node-level selection σ_ϕ(ID) to each instance,
+// dropping instances the selection invalidates.
+type SelectFilter struct {
+	Input Operator
+	Dewey core.Dewey
+	Pred  func(n *xmltree.Node, pos int) bool
+	Err   error
+}
+
+// GetNext returns the next valid filtered instance or nil.
+func (f *SelectFilter) GetNext() *nestedlist.List {
+	if f.Err != nil {
+		return nil
+	}
+	for {
+		l := f.Input.GetNext()
+		if l == nil {
+			return nil
+		}
+		out, ok, err := l.Select(f.Dewey, f.Pred)
+		if err != nil {
+			f.Err = err
+			return nil
+		}
+		if ok {
+			return out
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package join implements the physical join operators of §4.2–4.3 and
+// the holistic baselines they are compared against:
+//
+//   - PipelinedDescJoin — the merge-join-style //-join over two NoK
+//     iterators (§4.2), valid on order-preserving inputs (Theorem 2:
+//     non-recursive documents);
+//   - BoundedNLJoin — the bounded nested-loop //-join of §4.3, whose
+//     inner NoK scans only the outer match's (p₁, p₂) region;
+//   - NestedLoopJoin — the naive nested-loop join for predicates that
+//     are not order-preserving (<<, value joins, deep-equal);
+//   - CrossingFilter — the selection form of a crossing predicate whose
+//     endpoints already live in one instance;
+//   - StackJoin — the stack-based binary structural join of [2]
+//     (Al-Khalifa et al.), used node-level;
+//   - TwigStack — the holistic twig join of [7] (Bruno et al.), the
+//     "TS" baseline of Table 3.
+package join
+
+import (
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/xmltree"
+)
+
+// Operator is a pull-based stream of NestedList instances; GetNext
+// returns nil when exhausted. nok.Iterator and every join operator here
+// implement it.
+type Operator interface {
+	GetNext() *nestedlist.List
+}
+
+// Drain collects all remaining instances of an operator.
+func Drain(op Operator) []*nestedlist.List {
+	var out []*nestedlist.List
+	for l := op.GetNext(); l != nil; l = op.GetNext() {
+		out = append(out, l)
+	}
+	return out
+}
+
+// SliceOperator replays a materialized instance sequence.
+type SliceOperator struct {
+	ls  []*nestedlist.List
+	pos int
+}
+
+// NewSliceOperator wraps a slice as an Operator.
+func NewSliceOperator(ls []*nestedlist.List) *SliceOperator { return &SliceOperator{ls: ls} }
+
+// GetNext returns the next instance or nil.
+func (s *SliceOperator) GetNext() *nestedlist.List {
+	if s.pos >= len(s.ls) {
+		return nil
+	}
+	l := s.ls[s.pos]
+	s.pos++
+	return l
+}
+
+// region returns the covering label interval of an instance's slot
+// projection, and whether the slot has any nodes.
+func region(l *nestedlist.List, slot int) (lo, hi int, ok bool) {
+	ns := l.ProjectSlot(slot)
+	if len(ns) == 0 {
+		return 0, 0, false
+	}
+	lo = ns[0].Start
+	hi = ns[0].End
+	for _, n := range ns[1:] {
+		if n.Start < lo {
+			lo = n.Start
+		}
+		if n.End > hi {
+			hi = n.End
+		}
+	}
+	return lo, hi, true
+}
+
+// pruneWitnessless removes outer-slot items that contain none of the
+// matched inner anchors — the per-item existential semantics of a
+// mandatory predicate subtree (a c2 in //b1//c2[//c3] qualifies only if
+// it has its own c3 witness). It reports false when the selection
+// invalidates the instance (every item of a mandatory slot removed).
+func pruneWitnessless(l *nestedlist.List, outerSlot int, anchors []*xmltree.Node) (*nestedlist.List, bool) {
+	return l.SelectSlot(outerSlot, func(n *xmltree.Node, _ int) bool {
+		for _, a := range anchors {
+			if n.IsAncestorOf(a) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// containsAny reports whether any node of ancs properly contains d.
+func containsAny(ancs []*xmltree.Node, d *xmltree.Node) bool {
+	for _, a := range ancs {
+		if a.IsAncestorOf(d) {
+			return true
+		}
+	}
+	return false
+}

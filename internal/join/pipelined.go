@@ -1,0 +1,194 @@
+package join
+
+import (
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/xmltree"
+)
+
+// PipelinedDescJoin is the pipelined //-join of §4.2: a merge-join over
+// two instance streams whose slot projections are in document order
+// (Theorem 1 guarantees this for NoK outputs; Theorem 2 makes the
+// composition sound on non-recursive documents). Each GetNext pulls from
+// the two input iterators without materializing either side.
+//
+// OuterSlot is the Dewey slot of the link's outer (ancestor) endpoint;
+// InnerSlot is the inner NoK's root slot, which holds exactly one node
+// per instance.
+//
+// PerPair controls the emission mode: true emits one merged instance per
+// (outer, inner) pair — the for-bound case, where each inner match is its
+// own iteration; false groups all inner matches inside one outer
+// instance into a single merged instance — the existential case
+// (predicate subtrees, let-bound regions). Optional keeps outer
+// instances with no inner match (the "l" link mode), emitting them with
+// the inner region left empty.
+type PipelinedDescJoin struct {
+	Outer, Inner Operator
+	OuterSlot    int
+	InnerSlot    int
+	PerPair      bool
+	Optional     bool
+
+	m       *nestedlist.List // current outer instance
+	mHi     int              // max end of the outer slot's region
+	n       *nestedlist.List // current inner instance
+	matched bool             // current outer produced at least one pair
+	started bool
+	done    bool
+	// Err records a merge failure (malformed composition); the stream
+	// ends when it is set.
+	Err error
+}
+
+// GetNext returns the next joined instance or nil.
+func (j *PipelinedDescJoin) GetNext() *nestedlist.List {
+	if j.done {
+		return nil
+	}
+	if !j.started {
+		j.started = true
+		j.advanceOuter()
+		j.n = j.Inner.GetNext()
+	}
+	for {
+		if j.m == nil {
+			j.done = true
+			return nil
+		}
+		if j.n == nil {
+			// Inner exhausted: flush remaining outers (optional mode).
+			out := j.flushOuter()
+			if out != nil {
+				return out
+			}
+			if j.m == nil {
+				j.done = true
+				return nil
+			}
+			continue
+		}
+		inner := j.n.ProjectSlot(j.InnerSlot)
+		if len(inner) == 0 {
+			j.n = j.Inner.GetNext()
+			continue
+		}
+		nn := inner[0]
+		if j.mHi < nn.Start {
+			// Outer region ends before the inner node: this outer can
+			// never match later inners either.
+			out := j.flushOuter()
+			if out != nil {
+				return out
+			}
+			continue
+		}
+		outerNodes := j.m.ProjectSlot(j.OuterSlot)
+		if !containsAny(outerNodes, nn) {
+			// Inner node precedes the outer region or sits in a gap.
+			j.n = j.Inner.GetNext()
+			continue
+		}
+		if j.PerPair {
+			merged, err := nestedlist.Merge(j.m, j.n)
+			if err != nil {
+				j.fail(err)
+				return nil
+			}
+			j.matched = true
+			j.n = j.Inner.GetNext()
+			return merged
+		}
+		// Existential grouping: absorb every inner whose node falls in
+		// this outer's region (they are consecutive: inners arrive in
+		// document order and the region is one interval on non-recursive
+		// inputs).
+		acc := j.m
+		var anchors []*xmltree.Node
+		var batch []*nestedlist.List
+		single := len(outerNodes) == 1
+		for j.n != nil {
+			in := j.n.ProjectSlot(j.InnerSlot)
+			if len(in) == 0 {
+				j.n = j.Inner.GetNext()
+				continue
+			}
+			if in[0].Start > j.mHi || !containsAny(outerNodes, in[0]) {
+				break
+			}
+			if single {
+				// Batch the inners and merge balanced below: absorbing k
+				// instances one by one re-copies the accumulator k times.
+				batch = append(batch, j.n)
+			} else {
+				// Grouped outer slots need per-inner attachment so each
+				// witness lands under its own containing item.
+				merged, err := nestedlist.Merge(acc, j.n)
+				if err != nil {
+					j.fail(err)
+					return nil
+				}
+				acc = merged
+			}
+			anchors = append(anchors, in[0])
+			j.n = j.Inner.GetNext()
+		}
+		if len(batch) > 0 {
+			inner, err := nestedlist.MergeBalanced(batch)
+			if err == nil {
+				acc, err = nestedlist.Merge(acc, inner)
+			}
+			if err != nil {
+				j.fail(err)
+				return nil
+			}
+		}
+		j.advanceOuter()
+		if !j.Optional {
+			pruned, ok := pruneWitnessless(acc, j.OuterSlot, anchors)
+			if !ok {
+				continue
+			}
+			acc = pruned
+		}
+		return acc
+	}
+}
+
+// flushOuter finishes the current outer instance: in optional mode an
+// unmatched outer is emitted with its inner region empty; then the next
+// outer is loaded. It returns the instance to emit, or nil.
+func (j *PipelinedDescJoin) flushOuter() *nestedlist.List {
+	m, wasMatched := j.m, j.matched
+	j.advanceOuter()
+	if m != nil && !wasMatched && j.Optional {
+		return m
+	}
+	return nil
+}
+
+func (j *PipelinedDescJoin) advanceOuter() {
+	j.m = j.Outer.GetNext()
+	j.matched = false
+	for j.m != nil {
+		if _, hi, ok := region(j.m, j.OuterSlot); ok {
+			j.mHi = hi
+			return
+		}
+		// Outer instance with an empty join slot can never match.
+		if j.Optional {
+			// Still emit it downstream? An empty mandatory-side slot means
+			// the outer kept an optional region empty; it joins nothing,
+			// and optional mode passes it through via flushOuter on the
+			// next cycle. Mark as matched=false with an empty region that
+			// precedes everything.
+			j.mHi = -1
+			return
+		}
+		j.m = j.Outer.GetNext()
+	}
+}
+
+func (j *PipelinedDescJoin) fail(err error) {
+	j.Err = err
+	j.done = true
+}

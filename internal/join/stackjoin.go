@@ -1,0 +1,63 @@
+package join
+
+import (
+	"blossomtree/internal/xmltree"
+)
+
+// AncDescPair is one result of a binary structural join.
+type AncDescPair struct {
+	Anc, Desc *xmltree.Node
+}
+
+// StackJoin is the stack-based binary structural join of Al-Khalifa et
+// al. [2] (Stack-Tree-Desc): given the ancestor candidates and the
+// descendant candidates, each sorted by document order, it emits every
+// (ancestor, descendant) containment pair in a single merge pass with a
+// stack of nested ancestors. Output is ordered by descendant.
+func StackJoin(ancs, descs []*xmltree.Node) []AncDescPair {
+	var out []AncDescPair
+	var stack []*xmltree.Node
+	ai := 0
+	for _, d := range descs {
+		// Pop ancestors that end before d starts.
+		for len(stack) > 0 && stack[len(stack)-1].End < d.Start {
+			stack = stack[:len(stack)-1]
+		}
+		// Push ancestors that start before d.
+		for ai < len(ancs) && ancs[ai].Start <= d.Start {
+			a := ancs[ai]
+			ai++
+			if a.End < d.Start {
+				continue // already over
+			}
+			// Maintain the nesting invariant.
+			for len(stack) > 0 && stack[len(stack)-1].End < a.Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, a)
+		}
+		for _, a := range stack {
+			if a != d && a.IsAncestorOf(d) {
+				out = append(out, AncDescPair{Anc: a, Desc: d})
+			}
+		}
+	}
+	return out
+}
+
+// StackJoinAnc emits only the distinct ancestors that contain at least
+// one descendant candidate (the semi-join used for existential
+// predicates), in document order.
+func StackJoinAnc(ancs, descs []*xmltree.Node) []*xmltree.Node {
+	matched := make(map[*xmltree.Node]bool)
+	for _, p := range StackJoin(ancs, descs) {
+		matched[p.Anc] = true
+	}
+	out := make([]*xmltree.Node, 0, len(matched))
+	for _, a := range ancs {
+		if matched[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+// Package naveval is a straightforward navigational evaluator for the
+// query fragment: path expressions are evaluated by recursive tree
+// traversal with no decomposition, no labeling shortcuts and no tag
+// indexes, and FLWOR expressions follow their iteration semantics
+// literally, re-evaluating every correlated path expression inside the
+// for-loops — exactly the "straightforward approach" the paper's
+// introduction warns is inefficient.
+//
+// It plays two roles in this repository:
+//
+//   - the stand-in for the proprietary X-Hive/DB system ("XH") in the
+//     Table 3 experiments — an industry-style navigational engine the
+//     algebraic operators are compared against; and
+//   - the correctness oracle: property tests check the NoK matcher, the
+//     structural joins and the executor against its results.
+package naveval
+
+import (
+	"fmt"
+	"sort"
+
+	"blossomtree/internal/flwor"
+	"blossomtree/internal/xmltree"
+	"blossomtree/internal/xpath"
+)
+
+// Resolver maps document URIs to documents. The empty URI resolves
+// absolute paths ("/a/b") when a query mixes both forms.
+type Resolver func(uri string) (*xmltree.Document, error)
+
+// SingleDoc returns a resolver that serves the same document for every
+// URI, the common case of single-document queries.
+func SingleDoc(doc *xmltree.Document) Resolver {
+	return func(string) (*xmltree.Document, error) { return doc, nil }
+}
+
+// Env is one row of variable bindings: each variable holds the node
+// sequence it is bound to (singletons for for-variables, full sequences
+// for let-variables).
+type Env map[string][]*xmltree.Node
+
+// clone copies the environment.
+func (e Env) clone() Env {
+	out := make(Env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// EvalPath evaluates a path expression with no variable bindings.
+func EvalPath(doc *xmltree.Document, p *xpath.Path) ([]*xmltree.Node, error) {
+	return EvalPathEnv(SingleDoc(doc), nil, p)
+}
+
+// EvalPathEnv evaluates a path expression under variable bindings.
+// Results are distinct nodes in document order.
+func EvalPathEnv(resolve Resolver, env Env, p *xpath.Path) ([]*xmltree.Node, error) {
+	var ctx []*xmltree.Node
+	switch p.Source.Kind {
+	case xpath.SourceDoc:
+		doc, err := resolve(p.Source.Doc)
+		if err != nil {
+			return nil, err
+		}
+		ctx = []*xmltree.Node{doc.Root}
+	case xpath.SourceRoot:
+		doc, err := resolve("")
+		if err != nil {
+			return nil, err
+		}
+		ctx = []*xmltree.Node{doc.Root}
+	case xpath.SourceVar:
+		nodes, ok := env[p.Source.Var]
+		if !ok {
+			return nil, fmt.Errorf("naveval: unbound variable $%s", p.Source.Var)
+		}
+		ctx = nodes
+	default:
+		return nil, fmt.Errorf("naveval: relative path %s has no context", p)
+	}
+	return evalSteps(resolve, env, ctx, p.Steps)
+}
+
+func evalSteps(resolve Resolver, env Env, ctx []*xmltree.Node, steps []xpath.Step) ([]*xmltree.Node, error) {
+	cur := ctx
+	for _, st := range steps {
+		var next []*xmltree.Node
+		seen := make(map[*xmltree.Node]bool)
+		for _, c := range cur {
+			sel, err := evalStep(resolve, env, c, st)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range sel {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].Start < next[j].Start })
+		cur = next
+	}
+	return cur, nil
+}
+
+// evalStep selects the step's axis candidates from one context node and
+// filters them through the predicates with correct position() semantics
+// (1-based within this context node's candidate list).
+func evalStep(resolve Resolver, env Env, ctx *xmltree.Node, st xpath.Step) ([]*xmltree.Node, error) {
+	var cands []*xmltree.Node
+	switch st.Axis {
+	case xpath.Child:
+		for c := ctx.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind == xmltree.ElementNode && st.Matches(c.Tag) {
+				cands = append(cands, c)
+			}
+		}
+	case xpath.Descendant:
+		cands = xmltree.Descendants(ctx, "")
+		if st.Test != "*" {
+			k := cands[:0]
+			for _, n := range cands {
+				if n.Tag == st.Test {
+					k = append(k, n)
+				}
+			}
+			cands = k
+		}
+	case xpath.Self:
+		if ctx.Kind == xmltree.ElementNode || ctx.Kind == xmltree.DocumentNode {
+			cands = []*xmltree.Node{ctx}
+		}
+	case xpath.FollowingSibling:
+		for s := ctx.NextSibling; s != nil; s = s.NextSibling {
+			if s.Kind == xmltree.ElementNode && st.Matches(s.Tag) {
+				cands = append(cands, s)
+			}
+		}
+	case xpath.Attribute:
+		return nil, fmt.Errorf("naveval: attribute nodes cannot be returned (step @%s)", st.Test)
+	default:
+		return nil, fmt.Errorf("naveval: unsupported axis %v", st.Axis)
+	}
+	for _, pred := range st.Preds {
+		var kept []*xmltree.Node
+		for i, n := range cands {
+			ok, err := evalPred(resolve, env, n, i+1, pred)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, n)
+			}
+		}
+		cands = kept
+	}
+	return cands, nil
+}
+
+func evalPred(resolve Resolver, env Env, n *xmltree.Node, pos int, e xpath.Expr) (bool, error) {
+	switch t := e.(type) {
+	case xpath.Exists:
+		res, err := evalRelative(resolve, env, n, t.Path)
+		if err != nil {
+			return false, err
+		}
+		return len(res) > 0, nil
+	case xpath.Position:
+		return pos == t.N, nil
+	case xpath.And:
+		l, err := evalPred(resolve, env, n, pos, t.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalPred(resolve, env, n, pos, t.R)
+	case xpath.Or:
+		l, err := evalPred(resolve, env, n, pos, t.L)
+		if err != nil || l {
+			return l, err
+		}
+		return evalPred(resolve, env, n, pos, t.R)
+	case xpath.Not:
+		v, err := evalPred(resolve, env, n, pos, t.E)
+		return !v, err
+	case xpath.Compare:
+		lv, err := operandValues(resolve, env, n, t.Left)
+		if err != nil {
+			return false, err
+		}
+		rv, err := operandValues(resolve, env, n, t.Right)
+		if err != nil {
+			return false, err
+		}
+		for _, l := range lv {
+			for _, r := range rv {
+				if t.Op.Eval(l, r) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("naveval: unsupported predicate %T", e)
+	}
+}
+
+// evalRelative evaluates a relative path from a context node, handling
+// trailing attribute steps as attribute existence.
+func evalRelative(resolve Resolver, env Env, n *xmltree.Node, p *xpath.Path) ([]*xmltree.Node, error) {
+	steps := p.Steps
+	attr := ""
+	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
+		attr = steps[k-1].Test
+		steps = steps[:k-1]
+	}
+	res, err := evalSteps(resolve, env, []*xmltree.Node{n}, steps)
+	if err != nil {
+		return nil, err
+	}
+	if attr == "" {
+		return res, nil
+	}
+	var out []*xmltree.Node
+	for _, m := range res {
+		if _, ok := m.Attr(attr); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// operandValues produces the comparison value list of an operand:
+// literals are singletons; paths yield the string-values of their result
+// nodes (attribute steps yield attribute values).
+func operandValues(resolve Resolver, env Env, n *xmltree.Node, o xpath.Operand) ([]string, error) {
+	switch o.Kind {
+	case xpath.OperandString:
+		return []string{o.Str}, nil
+	case xpath.OperandNumber:
+		return []string{trimFloat(o.Num)}, nil
+	}
+	p := o.Path
+	steps := p.Steps
+	attr := ""
+	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
+		attr = steps[k-1].Test
+		steps = steps[:k-1]
+	}
+	var ctx []*xmltree.Node
+	var err error
+	if p.Source.Kind == xpath.SourceContext {
+		ctx, err = evalSteps(resolve, env, []*xmltree.Node{n}, steps)
+	} else {
+		ctx, err = EvalPathEnv(resolve, env, &xpath.Path{Source: p.Source, Steps: steps})
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range ctx {
+		if attr != "" {
+			if v, ok := m.Attr(attr); ok {
+				out = append(out, v)
+			}
+			continue
+		}
+		out = append(out, xmltree.StringValue(m))
+	}
+	return out, nil
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// EvalCond evaluates a where-clause condition under an environment (used
+// by the FLWOR loop here and for residual conditions by the executor).
+func EvalCond(resolve Resolver, env Env, c flwor.Cond) (bool, error) {
+	switch t := c.(type) {
+	case flwor.CondAnd:
+		l, err := EvalCond(resolve, env, t.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalCond(resolve, env, t.R)
+	case flwor.CondOr:
+		l, err := EvalCond(resolve, env, t.L)
+		if err != nil || l {
+			return l, err
+		}
+		return EvalCond(resolve, env, t.R)
+	case flwor.CondNot:
+		v, err := EvalCond(resolve, env, t.C)
+		return !v, err
+	case flwor.CondExists:
+		res, err := EvalPathEnv(resolve, env, t.Path)
+		if err != nil {
+			return false, err
+		}
+		return len(res) > 0, nil
+	case flwor.CondDocOrder:
+		l, err := EvalPathEnv(resolve, env, t.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalPathEnv(resolve, env, t.Right)
+		if err != nil {
+			return false, err
+		}
+		for _, a := range l {
+			for _, b := range r {
+				if a != b && (t.Before && a.Before(b) || !t.Before && b.Before(a)) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	case flwor.CondDeepEqual:
+		l, err := EvalPathEnv(resolve, env, t.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := EvalPathEnv(resolve, env, t.Right)
+		if err != nil {
+			return false, err
+		}
+		return xmltree.DeepEqualSeq(l, r), nil
+	case flwor.CondCmp:
+		lv, err := condOperandValues(resolve, env, t.Left)
+		if err != nil {
+			return false, err
+		}
+		rv, err := condOperandValues(resolve, env, t.Right)
+		if err != nil {
+			return false, err
+		}
+		for _, a := range lv {
+			for _, b := range rv {
+				if t.Op.Eval(a, b) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("naveval: unsupported condition %T", c)
+	}
+}
+
+func condOperandValues(resolve Resolver, env Env, o xpath.Operand) ([]string, error) {
+	switch o.Kind {
+	case xpath.OperandString:
+		return []string{o.Str}, nil
+	case xpath.OperandNumber:
+		return []string{trimFloat(o.Num)}, nil
+	}
+	res, err := EvalPathEnv(resolve, env, o.Path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(res))
+	for i, n := range res {
+		out[i] = xmltree.StringValue(n)
+	}
+	return out, nil
+}
+
+// EvalFLWOR runs the FLWOR iteration semantics naively: the nested-loop
+// evaluation of §1's "straightforward approach". It returns one Env per
+// surviving iteration, in iteration (document) order, after applying
+// where and order by.
+func EvalFLWOR(resolve Resolver, f *flwor.FLWOR) ([]Env, error) {
+	envs := []Env{{}}
+	for _, cl := range f.Clauses {
+		var next []Env
+		for _, env := range envs {
+			res, err := EvalPathEnv(resolve, env, cl.Path)
+			if err != nil {
+				return nil, err
+			}
+			if cl.Kind == flwor.LetClause {
+				e2 := env.clone()
+				e2[cl.Var] = res
+				next = append(next, e2)
+				continue
+			}
+			for _, n := range res {
+				e2 := env.clone()
+				e2[cl.Var] = []*xmltree.Node{n}
+				next = append(next, e2)
+			}
+		}
+		envs = next
+	}
+	if f.Where != nil {
+		var kept []Env
+		for _, env := range envs {
+			ok, err := EvalCond(resolve, env, f.Where)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, env)
+			}
+		}
+		envs = kept
+	}
+	if f.OrderBy != nil {
+		keys := make([]string, len(envs))
+		for i, env := range envs {
+			res, err := EvalPathEnv(resolve, env, f.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+			if len(res) > 0 {
+				keys[i] = xmltree.StringValue(res[0])
+			}
+		}
+		idx := make([]int, len(envs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		sorted := make([]Env, len(envs))
+		for i, j := range idx {
+			sorted[i] = envs[j]
+		}
+		envs = sorted
+	}
+	return envs, nil
+}

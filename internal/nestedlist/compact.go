@@ -1,0 +1,140 @@
+package nestedlist
+
+import (
+	"fmt"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/xmltree"
+)
+
+// Compact is the second physical form of the NestedList abstract data
+// type: the array layout of the paper's Figure 6. Where the pointer
+// form links items through per-item group slices, the compact form
+// stores one document-ordered node column per returning-tree slot plus
+// CSR-style offset arrays ("child pointers") delimiting each parent
+// item's group — "if x_i has an edge to y_m and x_{i+1} has an edge to
+// y_{m+k}, x_i pairs y_m … y_{m+k-1}".
+//
+// The pointer form is the build form (Algorithm 2 appends during the
+// scan); Compact is the read form: projection is a column read, and
+// group lookups are two offset loads. FromList/ToList convert between
+// them losslessly, and the ablation benchmarks compare projection costs.
+type Compact struct {
+	Shape *core.ReturnTree
+	// Nodes[slot] holds the slot's items' nodes in document order
+	// (nil for placeholder items).
+	Nodes [][]*xmltree.Node
+	// Offsets[slot] has len(parent items)+1 entries: the group of the
+	// parent's i-th item spans Nodes[slot][Offsets[slot][i] :
+	// Offsets[slot][i+1]]. The super-root (slot 0) has offsets [0, 1].
+	Offsets [][]int32
+	filled  filledSet
+}
+
+// FromList converts a pointer-form instance to the compact form.
+func FromList(l *List) *Compact {
+	nSlots := len(l.Shape.Nodes)
+	c := &Compact{
+		Shape:   l.Shape,
+		Nodes:   make([][]*xmltree.Node, nSlots),
+		Offsets: make([][]int32, nSlots),
+		filled:  l.filled,
+	}
+	c.Nodes[0] = []*xmltree.Node{nil}
+	c.Offsets[0] = []int32{0, 1}
+
+	// BFS over the shape: materialize each slot's column from its
+	// parent's item list.
+	parentItems := map[int][]*Item{0: {l.Root}}
+	queue := append([]*core.ReturnNode(nil), l.Shape.Root.Children...)
+	for len(queue) > 0 {
+		sn := queue[0]
+		queue = queue[1:]
+		queue = append(queue, sn.Children...)
+		ord := sn.ChildOrdinal()
+		parents := parentItems[parentSlot(sn)]
+		offs := make([]int32, 1, len(parents)+1)
+		var col []*xmltree.Node
+		var items []*Item
+		for _, p := range parents {
+			if p != nil && ord < len(p.Groups) {
+				for _, it := range p.Groups[ord] {
+					col = append(col, it.Node)
+					items = append(items, it)
+				}
+			}
+			offs = append(offs, int32(len(col)))
+		}
+		c.Nodes[sn.Slot] = col
+		c.Offsets[sn.Slot] = offs
+		parentItems[sn.Slot] = items
+	}
+	return c
+}
+
+func parentSlot(sn *core.ReturnNode) int {
+	if sn.Parent == nil {
+		return 0
+	}
+	return sn.Parent.Slot
+}
+
+// IsFilled reports whether the slot is carried by this instance.
+func (c *Compact) IsFilled(slot int) bool { return c.filled.get(slot) }
+
+// ProjectSlot is π by slot: the non-placeholder entries of the slot's
+// column, in document order — a single array read, the operation the
+// compact form optimizes.
+func (c *Compact) ProjectSlot(slot int) []*xmltree.Node {
+	col := c.Nodes[slot]
+	out := make([]*xmltree.Node, 0, len(col))
+	for _, n := range col {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Group returns the half-open index range of the group under the
+// parent item with index parentIdx at the given slot.
+func (c *Compact) Group(slot, parentIdx int) (lo, hi int, err error) {
+	offs := c.Offsets[slot]
+	if parentIdx < 0 || parentIdx+1 >= len(offs) {
+		return 0, 0, fmt.Errorf("nestedlist: parent index %d out of range for slot %d", parentIdx, slot)
+	}
+	return int(offs[parentIdx]), int(offs[parentIdx+1]), nil
+}
+
+// ToList converts back to the pointer form.
+func (c *Compact) ToList() *List {
+	l := &List{Shape: c.Shape, filled: c.filled}
+	// Rebuild items per slot, then wire groups via offsets.
+	items := make(map[int][]*Item, len(c.Shape.Nodes))
+	items[0] = []*Item{NewItem(nil, len(c.Shape.Root.Children))}
+	var walk func(sn *core.ReturnNode)
+	walk = func(sn *core.ReturnNode) {
+		col := c.Nodes[sn.Slot]
+		slotItems := make([]*Item, len(col))
+		for i, n := range col {
+			slotItems[i] = NewItem(n, len(sn.Children))
+		}
+		items[sn.Slot] = slotItems
+		parents := items[parentSlot(sn)]
+		offs := c.Offsets[sn.Slot]
+		ord := sn.ChildOrdinal()
+		for pi, p := range parents {
+			if pi+1 < len(offs) {
+				p.Groups[ord] = slotItems[offs[pi]:offs[pi+1]]
+			}
+		}
+		for _, child := range sn.Children {
+			walk(child)
+		}
+	}
+	for _, child := range c.Shape.Root.Children {
+		walk(child)
+	}
+	l.Root = items[0][0]
+	return l
+}

@@ -1,0 +1,160 @@
+package nestedlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/xmltree"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	_, rt := fig3Shape(t)
+	l, _ := fig3Instance(t, rt)
+	c := FromList(l)
+	back := c.ToList()
+	if got, want := back.String(), l.String(); got != want {
+		t.Errorf("round trip:\n%s\nwant\n%s", got, want)
+	}
+	for slot := 0; slot < len(rt.Nodes); slot++ {
+		if c.IsFilled(slot) != l.IsFilled(slot) {
+			t.Errorf("slot %d filled mismatch", slot)
+		}
+		a := c.ProjectSlot(slot)
+		b := l.ProjectSlot(slot)
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: compact π=%d, pointer π=%d", slot, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("slot %d item %d differs", slot, i)
+			}
+		}
+	}
+}
+
+func TestCompactGroups(t *testing.T) {
+	_, rt := fig3Shape(t)
+	l, _ := fig3Instance(t, rt)
+	c := FromList(l)
+	bSlot := slotOf(t, rt, "1.1.1")
+	dSlot := slotOf(t, rt, "1.1.1.1")
+
+	// The three b items have d-groups of sizes 0, 2, 1 (Figure 3).
+	want := []int{0, 2, 1}
+	for i, w := range want {
+		lo, hi, err := c.Group(dSlot, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hi-lo != w {
+			t.Errorf("b%d d-group size = %d, want %d", i+1, hi-lo, w)
+		}
+	}
+	if _, _, err := c.Group(dSlot, 99); err == nil {
+		t.Error("out-of-range group should fail")
+	}
+	if _, _, err := c.Group(bSlot, -1); err == nil {
+		t.Error("negative index should fail")
+	}
+	// Column order is document order (the Figure 6 invariant).
+	col := c.ProjectSlot(dSlot)
+	for i := 1; i < len(col); i++ {
+		if !col[i-1].Before(col[i]) {
+			t.Error("compact column out of document order")
+		}
+	}
+}
+
+func TestCompactPlaceholderSpine(t *testing.T) {
+	q, aSlot, bSlot := twoNoKShape(t)
+	doc, err := xmltree.ParseString(`<r><a><b/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := xmltree.Descendants(doc.DocumentElement(), "b")[0]
+	lb := NewInstance(q.Return)
+	spine := NewItem(nil, 1)
+	spine.Groups[0] = []*Item{NewItem(b, 0)}
+	lb.Root.Groups[0] = []*Item{spine}
+	lb.SetFilled(bSlot)
+
+	c := FromList(lb)
+	if len(c.ProjectSlot(aSlot)) != 0 {
+		t.Error("placeholder spine must project to nothing")
+	}
+	if got := c.ProjectSlot(bSlot); len(got) != 1 || got[0] != b {
+		t.Errorf("b column = %v", got)
+	}
+	back := c.ToList()
+	if back.String() != lb.String() {
+		t.Errorf("spine round trip: %s vs %s", back.String(), lb.String())
+	}
+}
+
+// TestQuickCompactEquivalence: random instances round-trip and project
+// identically in both physical forms.
+func TestQuickCompactEquivalence(t *testing.T) {
+	_, rt := fig3Shape(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomInstance(r, rt)
+		c := FromList(l)
+		for slot := 0; slot < len(rt.Nodes); slot++ {
+			a, b := c.ProjectSlot(slot), l.ProjectSlot(slot)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return c.ToList().String() == l.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomInstance builds a random instance of the fig3 shape over a
+// random document.
+func randomInstance(r *rand.Rand, rt *core.ReturnTree) *List {
+	b := xmltree.NewBuilder()
+	b.Start("t").Start("a")
+	nb := r.Intn(4)
+	for i := 0; i < nb; i++ {
+		b.Start("b")
+		for j := r.Intn(3); j > 0; j-- {
+			b.Elem("d", "")
+		}
+		b.End()
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		b.Elem("c", "")
+	}
+	b.End().End()
+	doc := b.MustDone()
+
+	top := doc.DocumentElement()
+	a := xmltree.Children(top, "a")[0]
+	l := NewInstance(rt)
+	aItem := NewItem(a, 2)
+	for _, bn := range xmltree.Children(a, "b") {
+		it := NewItem(bn, 1)
+		for _, dn := range xmltree.Children(bn, "d") {
+			it.Groups[0] = append(it.Groups[0], NewItem(dn, 0))
+		}
+		aItem.Groups[0] = append(aItem.Groups[0], it)
+	}
+	for _, cn := range xmltree.Children(a, "c") {
+		aItem.Groups[1] = append(aItem.Groups[1], NewItem(cn, 0))
+	}
+	l.Root.Groups[0] = []*Item{aItem}
+	for slot := 1; slot < len(rt.Nodes); slot++ {
+		l.SetFilled(slot)
+	}
+	return l
+}

@@ -1,0 +1,386 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/join"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/nok"
+)
+
+// component is a connected part of the join graph under construction:
+// the operator computing it and the set of NoKs whose slots it fills.
+type component struct {
+	op   join.Operator
+	noks map[*core.NoK]bool
+}
+
+// buildNoKPlan wires NoK scans and structural joins along the
+// decomposition's links, then connects remaining components through
+// crossing-edge joins, and finally applies same-component crossings and
+// positional filters as selections.
+func (p *Plan) buildNoKPlan() (join.Operator, error) {
+	d := p.Decomp
+	matchers := make(map[*core.NoK]*nok.Matcher, len(d.NoKs))
+	for _, n := range d.NoKs {
+		m, err := nok.NewMatcher(n, p.Query.Return)
+		if err != nil {
+			return nil, err
+		}
+		matchers[n] = m
+	}
+
+	// Merged-NoK optimization (§4.2): evaluate every sequentially-scanned
+	// NoK in one shared document traversal instead of one scan each.
+	if p.opts.MergeScans && p.opts.Index == nil && p.Strategy != BoundedNL {
+		var ms []*nok.Matcher
+		for _, n := range d.NoKs {
+			if !trivialNoK(n) {
+				ms = append(ms, matchers[n])
+			}
+		}
+		results := nok.MultiScan(ms, p.doc)
+		p.preScanned = make(map[*core.NoK][]*nestedlist.List, len(ms))
+		for i, m := range ms {
+			p.preScanned[m.NoK] = results[i]
+		}
+		p.note("merged %d NoK scans into one traversal", len(ms))
+	}
+
+	linked := make(map[*core.NoK]bool)
+	for _, l := range d.Links {
+		linked[l.Child] = true
+	}
+
+	var comps []*component
+	newComponent := func(n *core.NoK) *component {
+		c := &component{op: p.baseScan(matchers[n]), noks: map[*core.NoK]bool{n: true}}
+		comps = append(comps, c)
+		return c
+	}
+	findComp := func(n *core.NoK) *component {
+		for _, c := range comps {
+			if c.noks[n] {
+				return c
+			}
+		}
+		return nil
+	}
+	removeComp := func(c *component) {
+		for i, x := range comps {
+			if x == c {
+				comps = append(comps[:i], comps[i+1:]...)
+				return
+			}
+		}
+	}
+
+	// Pattern-tree root NoKs seed the components (skipping trivial
+	// doc-root-only NoKs, which carry no slots).
+	for _, n := range d.NoKs {
+		if !linked[n] && !trivialNoK(n) {
+			newComponent(n)
+		}
+	}
+
+	// Wire the cut //-edges in decomposition (BFS) order: each link's
+	// parent NoK is already in a component when the link is processed.
+	for _, l := range d.Links {
+		childM := matchers[l.Child]
+		if l.IsScan() {
+			// Cut edge from a document root: the child NoK scans the
+			// whole document. It either seeds a new component or
+			// Cartesian-joins with the component already holding other
+			// NoKs of the query (the for × for case of Example 1).
+			parentComp := findComp(p.noKOfVertex(l.Parent))
+			childComp := newComponent(l.Child)
+			if parentComp != nil && parentComp != childComp {
+				p.combine(parentComp, childComp, nil, l)
+				removeComp(childComp)
+			}
+			continue
+		}
+		parentComp := findComp(p.noKOfVertex(l.Parent))
+		if parentComp == nil {
+			return nil, fmt.Errorf("plan: link parent %s has no component", l.Parent.Label())
+		}
+		op, err := p.descJoin(parentComp.op, childM, l)
+		if err != nil {
+			return nil, err
+		}
+		parentComp.op = op
+		parentComp.noks[l.Child] = true
+	}
+
+	// Crossing edges: joins between components, selections within one.
+	var filters []*core.Crossing
+	for _, c := range p.Query.Tree.Crossings {
+		if p.usedCrossings[c] {
+			continue
+		}
+		fromC := findComp(p.noKOfVertex(c.From))
+		toC := findComp(p.noKOfVertex(c.To))
+		if fromC == nil || toC == nil {
+			return nil, fmt.Errorf("plan: crossing %s endpoints not planned", c)
+		}
+		if fromC == toC {
+			filters = append(filters, c)
+			continue
+		}
+		fromSlot, toSlot := p.slotOf(c.From), p.slotOf(c.To)
+		p.note("crossing %s joins two components (nested-loop)", c)
+		nl := &join.NestedLoopJoin{
+			Outer: fromC.op,
+			Inner: toC.op,
+			Pred:  join.CrossingPredicate(c, fromSlot, toSlot),
+			Stop:  p.opts.Stop,
+		}
+		p.watch(func() error { return nl.Err })
+		fromC.op = nl
+		for n := range toC.noks {
+			fromC.noks[n] = true
+		}
+		removeComp(toC)
+	}
+
+	// Any components still disconnected combine by Cartesian product.
+	for len(comps) > 1 {
+		a, b := comps[0], comps[1]
+		p.note("cartesian product of disconnected components")
+		nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Stop: p.opts.Stop,
+			Pred: func(_, _ *nestedlist.List) (bool, error) { return true, nil }}
+		p.watch(func() error { return nl.Err })
+		a.op = nl
+		for n := range b.noks {
+			a.noks[n] = true
+		}
+		removeComp(b)
+	}
+	if len(comps) == 0 {
+		return join.NewSliceOperator(nil), nil
+	}
+	op := comps[0].op
+
+	for _, c := range filters {
+		op = &join.CrossingFilter{Input: op, Crossing: c,
+			FromSlot: p.slotOf(c.From), ToSlot: p.slotOf(c.To)}
+	}
+
+	// Positional predicates on cut targets become stream selections
+	// (σ_position, §3.3); only top-level targets have well-defined
+	// stream positions.
+	for _, l := range d.Links {
+		if pos, has := l.Child.Root.PositionConstraint(); has {
+			if !l.IsScan() {
+				return nil, fmt.Errorf("plan: positional predicate on nested //-step %s is unsupported", l.Child.Root.Label())
+			}
+			slot := p.slotOf(l.Child.Root)
+			op = &join.PositionFilter{Input: op, Slot: slot, Pos: pos}
+		}
+	}
+	return op, nil
+}
+
+// combine Cartesian-joins two components, using any crossing that spans
+// them as the join predicate when available (the ϕ-join of Figure 5).
+func (p *Plan) combine(a, b *component, _ *core.Crossing, l core.Link) {
+	var pred join.Predicate
+	for _, c := range p.Query.Tree.Crossings {
+		fromIn := a.noks[p.noKOfVertex(c.From)]
+		toIn := b.noks[p.noKOfVertex(c.To)]
+		if fromIn && toIn {
+			pred = join.CrossingPredicate(c, p.slotOf(c.From), p.slotOf(c.To))
+			p.markCrossingUsed(c)
+			p.note("pushed crossing %s into the %s-join", c, l.Mode)
+			break
+		}
+	}
+	if pred == nil {
+		pred = func(_, _ *nestedlist.List) (bool, error) { return true, nil }
+		p.note("cartesian join of independent for-clauses")
+	}
+	nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Pred: pred, Stop: p.opts.Stop}
+	p.watch(func() error { return nl.Err })
+	a.op = nl
+	for n := range b.noks {
+		a.noks[n] = true
+	}
+}
+
+// markCrossingUsed records a crossing already applied as a join
+// predicate so it is not re-applied as a filter.
+func (p *Plan) markCrossingUsed(c *core.Crossing) {
+	if p.usedCrossings == nil {
+		p.usedCrossings = make(map[*core.Crossing]bool)
+	}
+	p.usedCrossings[c] = true
+}
+
+// baseScan picks the access method for a NoK's anchors: tag-index scan
+// when an index exists and the root has a selective name test,
+// sequential scan otherwise.
+func (p *Plan) baseScan(m *nok.Matcher) join.Operator {
+	if ls, ok := p.preScanned[m.NoK]; ok {
+		return join.NewSliceOperator(ls)
+	}
+	if p.opts.Index != nil && !m.NoK.Root.IsDocRoot() && m.RootTest() != "*" && len(m.NoK.Root.Constraints) == 0 {
+		p.note("NoK%d anchors via tag index %q (%d candidates)",
+			m.NoK.Index, m.RootTest(), p.opts.Index.Count(m.RootTest()))
+		it := nok.NewIndexIterator(m, p.opts.Index.Nodes(m.RootTest()))
+		it.Stop = p.opts.Stop
+		return it
+	}
+	p.note("NoK%d anchors via sequential scan", m.NoK.Index)
+	it := nok.NewIterator(m, p.doc)
+	it.Stop = p.opts.Stop
+	return it
+}
+
+// descJoin builds the structural join for one cut //-edge under the
+// plan's strategy.
+func (p *Plan) descJoin(outer join.Operator, inner *nok.Matcher, l core.Link) (join.Operator, error) {
+	outerSlot := p.slotOf(l.Parent)
+	innerSlot := p.slotOf(l.Child.Root)
+	perPair := l.Child.Root.ForBound
+	optional := l.Mode == core.Optional
+	switch p.Strategy {
+	case Pipelined:
+		p.note("link %s//NoK%d: pipelined merge join", l.Parent.Label(), l.Child.Index)
+		pl := &join.PipelinedDescJoin{
+			Outer: outer, Inner: p.baseScan(inner),
+			OuterSlot: outerSlot, InnerSlot: innerSlot,
+			PerPair: perPair, Optional: optional,
+		}
+		p.watch(func() error { return pl.Err })
+		return pl, nil
+	case BoundedNL:
+		p.note("link %s//NoK%d: bounded nested-loop join", l.Parent.Label(), l.Child.Index)
+		bn := &join.BoundedNLJoin{
+			Outer: outer, OuterSlot: outerSlot,
+			Inner: inner, InnerSlot: innerSlot,
+			PerPair: perPair, Optional: optional,
+			Stop: p.opts.Stop,
+		}
+		p.watch(func() error { return bn.Err })
+		return bn, nil
+	case NaiveNL:
+		if optional || !perPair {
+			// The materializing NLJ has no optional/grouping modes; fall
+			// back to the bounded variant which shares its loop shape.
+			bn := &join.BoundedNLJoin{
+				Outer: outer, OuterSlot: outerSlot,
+				Inner: inner, InnerSlot: innerSlot,
+				PerPair: perPair, Optional: optional,
+				Stop: p.opts.Stop,
+			}
+			p.watch(func() error { return bn.Err })
+			return bn, nil
+		}
+		p.note("link %s//NoK%d: naive nested-loop join", l.Parent.Label(), l.Child.Index)
+		nl := &join.NestedLoopJoin{
+			Outer: outer, Inner: p.baseScan(inner),
+			Pred: join.DescPredicate(outerSlot, innerSlot),
+			Stop: p.opts.Stop,
+		}
+		p.watch(func() error { return nl.Err })
+		return nl, nil
+	default:
+		return nil, fmt.Errorf("plan: strategy %s cannot build //-joins", p.Strategy)
+	}
+}
+
+// buildTwig runs the holistic TwigStack and adapts its matches to the
+// instance stream interface.
+func (p *Plan) buildTwig() (join.Operator, error) {
+	root := p.Query.Tree.Roots[0]
+	start := root
+	if root.IsDocRoot() {
+		start = root.Children[0]
+	}
+	ts, err := join.NewTwigStack(start, p.opts.Index)
+	if err != nil {
+		return nil, err
+	}
+	ts.Stop = p.opts.Stop
+	// Keep only the variables' bindings: the executor needs distinct
+	// variable combinations, not every existential witness.
+	for _, v := range p.Query.Vars {
+		ts.Keep = append(ts.Keep, v)
+	}
+	matches, err := ts.Run()
+	if err != nil {
+		return nil, err
+	}
+	p.note("TwigStack produced %d matches (%d stack pushes)", len(matches), ts.PushCount)
+	ls := make([]*nestedlist.List, 0, len(matches))
+	for _, m := range matches {
+		ls = append(ls, p.matchToInstance(m))
+	}
+	// Twig matches arrive merge-grouped; order instances by their
+	// returning-slot nodes so downstream consumers see document order.
+	sort.SliceStable(ls, func(i, j int) bool {
+		return instanceKeyLess(ls[i], ls[j], p.Query.Return)
+	})
+	return join.NewSliceOperator(ls), nil
+}
+
+// matchToInstance converts one TwigMatch into a NestedList instance:
+// each returning vertex contributes a single item, nested per the
+// returning tree.
+func (p *Plan) matchToInstance(m join.TwigMatch) *nestedlist.List {
+	rt := p.Query.Return
+	l := nestedlist.NewInstance(rt)
+	var build func(rn *core.ReturnNode, parent *nestedlist.Item)
+	build = func(rn *core.ReturnNode, parent *nestedlist.Item) {
+		node, bound := m[rn.Vertex.ID]
+		it := nestedlist.NewItem(node, len(rn.Children))
+		ord := rn.ChildOrdinal()
+		parent.Groups[ord] = append(parent.Groups[ord], it)
+		if bound {
+			l.SetFilled(rn.Slot)
+		}
+		for _, c := range rn.Children {
+			build(c, it)
+		}
+	}
+	for _, c := range rt.Root.Children {
+		build(c, l.Root)
+	}
+	return l
+}
+
+func instanceKeyLess(a, b *nestedlist.List, rt *core.ReturnTree) bool {
+	for slot := 1; slot < len(rt.Nodes); slot++ {
+		an := a.ProjectSlot(slot)
+		bn := b.ProjectSlot(slot)
+		if len(an) == 0 || len(bn) == 0 {
+			continue
+		}
+		if an[0].Start != bn[0].Start {
+			return an[0].Start < bn[0].Start
+		}
+	}
+	return false
+}
+
+// noKOfVertex resolves the NoK containing a vertex.
+func (p *Plan) noKOfVertex(v *core.Vertex) *core.NoK {
+	n, _ := p.Decomp.NoKOf(v)
+	return n
+}
+
+// slotOf resolves a returning vertex's slot.
+func (p *Plan) slotOf(v *core.Vertex) int {
+	if rn, ok := p.Query.Return.ByVertex(v); ok {
+		return rn.Slot
+	}
+	return 0
+}
+
+// trivialNoK reports whether the NoK is a bare document-root vertex with
+// no returning members (it contributes nothing to instances).
+func trivialNoK(n *core.NoK) bool {
+	return n.Root.IsDocRoot() && n.Size() == 1
+}

@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blossomtree/internal/core"
+)
+
+// This file implements the cost model the paper's conclusion defers to
+// future work ("To choose an optimal plan automatically, the optimizer
+// needs a cost model or similar mechanism"). The model estimates, from
+// document statistics and tag-index cardinalities, the node-visit cost
+// of evaluating the decomposed query under each join strategy, and
+// CostBased planning picks the cheapest sound one.
+//
+// The unit of cost is "nodes touched": the paper's experiments are
+// I/O-bound and every compared operator's running time is proportional
+// to the nodes it scans (sequential scans visit the whole document,
+// index scans visit the inverted list, bounded inner scans visit the
+// outer match's region, TwigStack visits its streams).
+
+// CostEstimate is one strategy's estimated cost.
+type CostEstimate struct {
+	Strategy Strategy
+	Cost     float64
+	Sound    bool   // false when the strategy's preconditions fail
+	Detail   string // one-line justification
+}
+
+// cardinality estimates how many elements match a vertex's tag test,
+// preferring exact index counts over statistics.
+func (p *Plan) cardinality(v *core.Vertex) float64 {
+	if v.IsDocRoot() {
+		return 1
+	}
+	if p.opts.Index != nil {
+		return float64(p.opts.Index.Count(v.Test))
+	}
+	if v.Test == "*" {
+		return float64(p.opts.Stats.Elements)
+	}
+	if c, ok := p.opts.Stats.TagCounts[v.Test]; ok {
+		return float64(c)
+	}
+	// Unknown tag without an index: assume a uniform share.
+	if p.opts.Stats.Tags > 0 {
+		return float64(p.opts.Stats.Elements) / float64(p.opts.Stats.Tags)
+	}
+	return 0
+}
+
+// docNodes is the sequential-scan cost.
+func (p *Plan) docNodes() float64 {
+	if n := p.opts.Stats.Nodes; n > 0 {
+		return float64(n)
+	}
+	if p.opts.Index != nil {
+		return float64(p.opts.Index.TotalElements())
+	}
+	return 1
+}
+
+// avgRegion estimates the average subtree size of a vertex's matches: a
+// match at depth d of a tree with N nodes and max depth D covers about
+// N^((D-d)/D)… which is more precision than the statistics support, so
+// the model uses the uniform share N / max(card, depth) with a floor of
+// the average root-to-leaf path length.
+func (p *Plan) avgRegion(v *core.Vertex) float64 {
+	card := p.cardinality(v)
+	n := p.docNodes()
+	if card <= 0 {
+		return 0
+	}
+	region := n / card
+	if min := p.opts.Stats.AvgDepth; region < min {
+		region = min
+	}
+	return region
+}
+
+// scanCost is the cost of one NoK base scan under the access methods
+// baseScan would pick.
+func (p *Plan) scanCost(n *core.NoK) float64 {
+	root := n.Root
+	if p.opts.Index != nil && !root.IsDocRoot() && root.Test != "*" && len(root.Constraints) == 0 {
+		return p.cardinality(root)
+	}
+	return p.docNodes()
+}
+
+// EstimateCosts scores every join strategy for this plan's decomposition
+// and returns the estimates sorted cheapest-first (unsound strategies
+// last).
+func (p *Plan) EstimateCosts() []CostEstimate {
+	d := p.Decomp
+	recursive := p.opts.Stats.Recursive
+
+	// Base scans feed every NoK-based strategy.
+	var base float64
+	for _, n := range d.NoKs {
+		if !trivialNoK(n) {
+			base += p.scanCost(n)
+		}
+	}
+	// Crossing joins are strategy-independent nested loops over the
+	// joined components' instance counts.
+	var crossCost float64
+	for _, c := range p.Query.Tree.Crossings {
+		crossCost += p.cardinality(c.From) * p.cardinality(c.To)
+	}
+
+	var out []CostEstimate
+
+	// Pipelined merge joins: each link consumes both streams once.
+	pl := CostEstimate{Strategy: Pipelined, Sound: !recursive}
+	pl.Cost = base + crossCost
+	for _, l := range d.Links {
+		if !l.IsScan() {
+			pl.Cost += p.cardinality(l.Parent) + p.cardinality(l.Child.Root)
+		}
+	}
+	if !pl.Sound {
+		pl.Detail = "unsound: recursive input breaks order preservation (Theorem 2)"
+	} else {
+		pl.Detail = fmt.Sprintf("scans %.0f + merge %.0f", base, pl.Cost-base)
+	}
+	out = append(out, pl)
+
+	// Bounded nested loops: per outer match, a scan of its region.
+	nl := CostEstimate{Strategy: BoundedNL, Sound: true}
+	nl.Cost = crossCost
+	for _, n := range d.NoKs {
+		if !trivialNoK(n) {
+			if isOuterOnly(d, n) {
+				nl.Cost += p.scanCost(n)
+			}
+		}
+	}
+	for _, l := range d.Links {
+		if !l.IsScan() {
+			nl.Cost += p.cardinality(l.Parent) * p.avgRegion(l.Parent)
+		} else {
+			nl.Cost += p.scanCost(l.Child)
+		}
+	}
+	nl.Detail = fmt.Sprintf("outer scans + %.0f bounded inner visits", nl.Cost)
+	out = append(out, nl)
+
+	// TwigStack: one pass over every vertex's stream (when compatible).
+	ts := CostEstimate{Strategy: Twig, Sound: p.twigCompatible() == nil}
+	if ts.Sound {
+		for _, v := range p.Query.Tree.Vertices {
+			if !v.IsDocRoot() {
+				ts.Cost += p.cardinality(v)
+			}
+		}
+		ts.Detail = fmt.Sprintf("streams total %.0f", ts.Cost)
+	} else {
+		ts.Detail = "unsound: " + p.twigIncompatibility()
+	}
+	out = append(out, ts)
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Sound != out[j].Sound {
+			return out[i].Sound
+		}
+		return out[i].Cost < out[j].Cost
+	})
+	return out
+}
+
+// isOuterOnly reports whether the NoK is never the child of a non-scan
+// link (i.e. it is scanned directly rather than re-matched per outer).
+func isOuterOnly(d *core.Decomposition, n *core.NoK) bool {
+	for _, l := range d.Links {
+		if l.Child == n && !l.IsScan() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Plan) twigIncompatibility() string {
+	if err := p.twigCompatible(); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// chooseCostBased picks the cheapest sound strategy from the model.
+func (p *Plan) chooseCostBased() Strategy {
+	ests := p.EstimateCosts()
+	for _, e := range ests {
+		if e.Sound {
+			p.note("cost model: %s wins (%s)", e.Strategy, e.Detail)
+			for _, other := range ests {
+				if other.Strategy != e.Strategy {
+					p.note("cost model: %s cost %.0f sound=%v (%s)", other.Strategy, other.Cost, other.Sound, other.Detail)
+				}
+			}
+			return e.Strategy
+		}
+	}
+	return BoundedNL // always sound
+}
+
+// ExplainCosts renders the cost table, cheapest first.
+func (p *Plan) ExplainCosts() string {
+	var sb strings.Builder
+	sb.WriteString("cost estimates (nodes touched):\n")
+	for _, e := range p.EstimateCosts() {
+		mark := " "
+		if !e.Sound {
+			mark = "✗"
+		}
+		fmt.Fprintf(&sb, "  %s %-3s %12.0f  %s\n", mark, e.Strategy, e.Cost, e.Detail)
+	}
+	return sb.String()
+}

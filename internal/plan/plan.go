@@ -1,0 +1,214 @@
+// Package plan turns a compiled BlossomTree query into an executable
+// physical plan. It decomposes the BlossomTree into NoK pattern trees
+// (Algorithm 1), chooses access methods for each NoK (sequential scan,
+// tag-index scan), picks a structural-join algorithm for the cut
+// //-edges — pipelined merge join, bounded nested-loop join, naive
+// nested-loop join, or the holistic TwigStack — wires crossing edges as
+// join predicates or selections, and exposes the result as a pull stream
+// of NestedList instances.
+//
+// Strategy selection implements the decision rules the paper's
+// experiments motivate (§5.2): the pipelined join requires
+// order-preserving inputs and is therefore only chosen on non-recursive
+// documents, where it is comparable to or faster than TwigStack and
+// needs no indexes; TwigStack is preferred on recursive documents when
+// tag indexes exist; the bounded nested-loop join is the fallback for
+// recursive data without indexes.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/index"
+	"blossomtree/internal/join"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/xmltree"
+)
+
+// Strategy selects the structural-join algorithm family.
+type Strategy int
+
+// Strategies.
+const (
+	Auto         Strategy = iota // rule-based choice from document statistics
+	Pipelined                    // PL: merge-join over NoK iterators (§4.2)
+	BoundedNL                    // NL: bounded nested-loop join (§4.3)
+	NaiveNL                      // naive nested-loop join (materializing)
+	Twig                         // TS: holistic TwigStack over tag indexes
+	Navigational                 // whole-query navigational evaluation (the XH stand-in)
+	CostBased                    // pick the cheapest sound strategy from the cost model
+)
+
+// String names the strategy as in the paper's tables.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Pipelined:
+		return "PL"
+	case BoundedNL:
+		return "NL"
+	case NaiveNL:
+		return "NLJ"
+	case Twig:
+		return "TS"
+	case Navigational:
+		return "XH"
+	case CostBased:
+		return "cost"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures planning.
+type Options struct {
+	Strategy Strategy
+	// Index enables TwigStack and index-driven NoK anchor scans. Nil
+	// means no tag indexes exist (the streaming situation of §5.2).
+	Index *index.TagIndex
+	// Stats drives the Auto rules; if zero-valued, Auto assumes
+	// non-recursive input.
+	Stats xmltree.Stats
+	// MergeScans shares one traversal across NoK base scans instead of
+	// scanning per NoK (the merged-NoK optimization). Only meaningful
+	// without Index.
+	MergeScans bool
+	// Stop, when non-nil, is polled by the plan's operators; returning
+	// true ends execution early (the DNF timeout of the experiments).
+	Stop func() bool
+}
+
+// Plan is an executable physical plan.
+type Plan struct {
+	Query    *core.Query
+	Decomp   *core.Decomposition
+	Strategy Strategy
+
+	doc  *xmltree.Document
+	opts Options
+	expl []string
+
+	usedCrossings map[*core.Crossing]bool
+	errChecks     []func() error
+	preScanned    map[*core.NoK][]*nestedlist.List
+}
+
+// watch registers a deferred-error source to be checked after draining.
+func (p *Plan) watch(f func() error) { p.errChecks = append(p.errChecks, f) }
+
+// Build compiles the query into a plan against the document.
+func Build(q *core.Query, doc *xmltree.Document, opts Options) (*Plan, error) {
+	d, err := core.Decompose(q.Tree)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Query: q, Decomp: d, doc: doc, opts: opts}
+	p.Strategy = p.chooseStrategy()
+	if p.Strategy == Twig {
+		if err := p.twigCompatible(); err != nil {
+			// Auto falls back; an explicit Twig request surfaces the error.
+			if opts.Strategy == Twig {
+				return nil, err
+			}
+			p.note("TwigStack incompatible (%v); falling back", err)
+			if opts.Stats.Recursive {
+				p.Strategy = BoundedNL
+			} else {
+				p.Strategy = Pipelined
+			}
+		}
+	}
+	p.note("strategy %s over %d NoKs, %d links, %d crossings",
+		p.Strategy, len(d.NoKs), len(d.Links), len(q.Tree.Crossings))
+	return p, nil
+}
+
+func (p *Plan) note(format string, args ...any) {
+	p.expl = append(p.expl, fmt.Sprintf(format, args...))
+}
+
+// chooseStrategy applies the Auto rules (the decision rules of §5.2) or
+// delegates to the cost model.
+func (p *Plan) chooseStrategy() Strategy {
+	if p.opts.Strategy == CostBased {
+		return p.chooseCostBased()
+	}
+	if p.opts.Strategy != Auto {
+		return p.opts.Strategy
+	}
+	switch {
+	case p.opts.Stats.Recursive && p.opts.Index != nil:
+		return Twig
+	case p.opts.Stats.Recursive:
+		return BoundedNL
+	default:
+		return Pipelined
+	}
+}
+
+// twigCompatible reports whether the whole query can run as one holistic
+// twig join: a single pattern tree, no crossings, no optional edges, no
+// positional or following-sibling features, and an index.
+func (p *Plan) twigCompatible() error {
+	if p.opts.Index == nil {
+		return fmt.Errorf("plan: TwigStack needs a tag index")
+	}
+	if len(p.Query.Tree.Roots) != 1 || len(p.Query.Tree.Crossings) > 0 || len(p.Query.Residual) > 0 {
+		return fmt.Errorf("plan: TwigStack handles single pattern trees without crossings")
+	}
+	root := p.Query.Tree.Roots[0]
+	if root.IsDocRoot() && len(root.Children) != 1 {
+		return fmt.Errorf("plan: TwigStack needs a single twig root")
+	}
+	start := root
+	if root.IsDocRoot() {
+		start = root.Children[0]
+	}
+	_, err := join.NewTwigStack(start, p.opts.Index)
+	return err
+}
+
+// Explain renders the decomposition and the chosen physical operators.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	sb.WriteString("plan strategy: " + p.Strategy.String() + "\n")
+	for _, e := range p.expl {
+		sb.WriteString("  " + e + "\n")
+	}
+	sb.WriteString(p.Decomp.String())
+	return sb.String()
+}
+
+// Execute runs the plan and materializes the resulting instances.
+func (p *Plan) Execute() ([]*nestedlist.List, error) {
+	op, err := p.Operator()
+	if err != nil {
+		return nil, err
+	}
+	out := join.Drain(op)
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Err surfaces any deferred stream error from the plan's operators.
+func (p *Plan) Err() error {
+	for _, f := range p.errChecks {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Operator builds the root operator of the plan.
+func (p *Plan) Operator() (join.Operator, error) {
+	if p.Strategy == Twig {
+		return p.buildTwig()
+	}
+	return p.buildNoKPlan()
+}

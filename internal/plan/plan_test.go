@@ -1,0 +1,318 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/flwor"
+	"blossomtree/internal/index"
+	"blossomtree/internal/naveval"
+	"blossomtree/internal/xmltree"
+	"blossomtree/internal/xpath"
+)
+
+const sample = `<r>
+  <a><b><c/></b><b/></a>
+  <a><c/></a>
+  <b><c/></b>
+</r>`
+
+func compilePath(t *testing.T, q string) *core.Query {
+	t.Helper()
+	cq, err := core.FromPath(xpath.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+func parse(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		Auto: "auto", Pipelined: "PL", BoundedNL: "NL", NaiveNL: "NLJ",
+		Twig: "TS", Navigational: "XH",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if !strings.Contains(Strategy(99).String(), "99") {
+		t.Error("unknown strategy String")
+	}
+}
+
+func TestAutoRules(t *testing.T) {
+	doc := parse(t, sample)
+	ix := index.Build(doc)
+	cases := []struct {
+		name      string
+		opts      Options
+		recursive bool
+		want      Strategy
+	}{
+		{"nonrec", Options{}, false, Pipelined},
+		{"rec no index", Options{Stats: xmltree.Stats{Recursive: true, Nodes: 1}}, true, BoundedNL},
+		{"rec with index", Options{Stats: xmltree.Stats{Recursive: true, Nodes: 1}, Index: ix}, true, Twig},
+		{"forced", Options{Strategy: NaiveNL}, false, NaiveNL},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Build(compilePath(t, `//a//c`), doc, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Strategy != c.want {
+				t.Errorf("strategy = %v, want %v", p.Strategy, c.want)
+			}
+		})
+	}
+}
+
+func TestAutoTwigFallback(t *testing.T) {
+	doc := parse(t, sample)
+	ix := index.Build(doc)
+	// Positional constraint makes TwigStack incompatible; Auto on
+	// recursive stats must fall back rather than fail.
+	p, err := Build(compilePath(t, `//a[2]//c`), doc,
+		Options{Stats: xmltree.Stats{Recursive: true, Nodes: 1}, Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy == Twig {
+		t.Errorf("expected fallback, got %v", p.Strategy)
+	}
+	// Forced Twig surfaces the error at build or operator time.
+	if p2, err := Build(compilePath(t, `//a[2]//c`), doc, Options{Strategy: Twig, Index: ix}); err == nil {
+		if _, err := p2.Operator(); err == nil {
+			t.Error("forced incompatible Twig should fail")
+		}
+	}
+}
+
+func TestExecuteAcrossStrategies(t *testing.T) {
+	doc := parse(t, sample)
+	ix := index.Build(doc)
+	want, err := naveval.EvalPath(doc, xpath.MustParse(`//a//c`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Pipelined, BoundedNL, NaiveNL, Twig} {
+		t.Run(s.String(), func(t *testing.T) {
+			p, err := Build(compilePath(t, `//a//c`), doc, Options{Strategy: s, Index: ix})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ls, err := p.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn, _ := p.Query.Return.ByVar("result")
+			seen := map[*xmltree.Node]bool{}
+			count := 0
+			for _, l := range ls {
+				for _, n := range l.ProjectSlot(rn.Slot) {
+					if !seen[n] {
+						seen[n] = true
+						count++
+					}
+				}
+			}
+			if count != len(want) {
+				t.Errorf("%s: %d distinct results, want %d", s, count, len(want))
+			}
+		})
+	}
+}
+
+func TestIndexScanNote(t *testing.T) {
+	doc := parse(t, sample)
+	ix := index.Build(doc)
+	p, err := Build(compilePath(t, `//a//c`), doc, Options{Strategy: Pipelined, Index: ix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Operator(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Explain(), "tag index") {
+		t.Errorf("expected index scans in explain:\n%s", p.Explain())
+	}
+}
+
+func TestPositionFilterOnNestedCutFails(t *testing.T) {
+	doc := parse(t, sample)
+	p, err := Build(compilePath(t, `//a//b[2]//c`), doc, Options{Strategy: BoundedNL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Operator(); err == nil {
+		t.Error("nested positional //-step should be rejected")
+	}
+}
+
+func TestFLWORCrossingPlan(t *testing.T) {
+	doc := parse(t, `<r><x><v>1</v></x><y><v>1</v></y><y><v>2</v></y></r>`)
+	q, err := core.FromFLWOR(flwor.MustParse(
+		`for $a in doc("d")//x, $b in doc("d")//y where $a/v = $b/v return $b`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(q, doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 {
+		t.Fatalf("join rows = %d, want 1", len(ls))
+	}
+	bn, _ := q.Return.ByVar("b")
+	got := ls[0].ProjectSlot(bn.Slot)
+	if len(got) != 1 || xmltree.StringValue(got[0]) != "1" {
+		t.Errorf("joined b = %v", got)
+	}
+	if !strings.Contains(p.Explain(), "joins two components") {
+		t.Errorf("crossing should drive the component join:\n%s", p.Explain())
+	}
+}
+
+func TestDocRootChainPlan(t *testing.T) {
+	doc := parse(t, sample)
+	// Query whose first NoK is the doc-root NoK with members: /r/a//c.
+	p, err := Build(compilePath(t, `/r/a//c`), doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naveval.EvalPath(doc, xpath.MustParse(`/r/a//c`))
+	count := 0
+	rn, _ := p.Query.Return.ByVar("result")
+	seen := map[*xmltree.Node]bool{}
+	for _, l := range ls {
+		for _, n := range l.ProjectSlot(rn.Slot) {
+			if !seen[n] {
+				seen[n] = true
+				count++
+			}
+		}
+	}
+	if count != len(want) {
+		t.Errorf("/r/a//c = %d results, want %d", count, len(want))
+	}
+}
+
+func TestTrivialEmptyPlan(t *testing.T) {
+	doc := parse(t, sample)
+	p, err := Build(compilePath(t, `//zzz//c`), doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 0 {
+		t.Errorf("no-match query produced %d instances", len(ls))
+	}
+}
+
+func TestCombineScanLinkWithDocRootMembers(t *testing.T) {
+	// First clause anchors in the doc-root NoK (/r/x has only child
+	// edges); the second clause scan-links a fresh NoK, exercising the
+	// combine path that pushes a crossing into the Cartesian join.
+	doc := parse(t, `<r><x><v>1</v></x><y><v>1</v></y><y><v>2</v></y></r>`)
+	q, err := core.FromFLWOR(flwor.MustParse(
+		`for $a in doc("d")/r/x, $b in doc("d")//y where $a/v = $b/v return $b`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(q, doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 {
+		t.Fatalf("rows = %d, want 1:\n%s", len(ls), p.Explain())
+	}
+	if !strings.Contains(p.Explain(), "pushed crossing") {
+		t.Errorf("crossing should be pushed into the scan-link join:\n%s", p.Explain())
+	}
+}
+
+func TestCombineWithoutCrossingIsCartesian(t *testing.T) {
+	doc := parse(t, `<r><x/><x/><y/><y/><y/></r>`)
+	q, err := core.FromFLWOR(flwor.MustParse(
+		`for $a in doc("d")/r/x, $b in doc("d")//y return $b`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(q, doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 6 {
+		t.Fatalf("cartesian rows = %d, want 6", len(ls))
+	}
+	if !strings.Contains(p.Explain(), "cartesian join") {
+		t.Errorf("expected cartesian note:\n%s", p.Explain())
+	}
+}
+
+func TestNaiveNLFallsBackForExistentialLinks(t *testing.T) {
+	doc := parse(t, sample)
+	// //a[//c]: existential inner NoK under NaiveNL falls back to the
+	// bounded variant for grouping semantics.
+	p, err := Build(compilePath(t, `//a[//c]`), doc, Options{Strategy: NaiveNL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := naveval.EvalPath(doc, xpath.MustParse(`//a[//c]`))
+	if len(ls) != len(want) {
+		t.Errorf("NLJ existential = %d, want %d", len(ls), len(want))
+	}
+}
+
+func TestStopCancelsExecution(t *testing.T) {
+	doc := parse(t, sample)
+	stopped := true
+	p, err := Build(compilePath(t, `//a//c`), doc, Options{
+		Strategy: BoundedNL,
+		Stop:     func() bool { return stopped },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 0 {
+		t.Errorf("stopped plan produced %d instances", len(ls))
+	}
+}

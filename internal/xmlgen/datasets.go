@@ -1,0 +1,460 @@
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blossomtree/internal/xmltree"
+)
+
+// counter tracks remaining element budget during generation.
+type counter struct{ left int }
+
+func (c *counter) take() bool {
+	if c.left <= 0 {
+		return false
+	}
+	c.left--
+	return true
+}
+
+// weighted is one weighted child-tag choice.
+type weighted struct {
+	tag string
+	w   int
+}
+
+func pickWeighted(r *rand.Rand, ws []weighted) string {
+	total := 0
+	for _, w := range ws {
+		total += w.w
+	}
+	n := r.Intn(total)
+	for _, w := range ws {
+		if n < w.w {
+			return w.tag
+		}
+		n -= w.w
+	}
+	return ws[0].tag
+}
+
+// d1 generates the recursive-DTD synthetic document over the 8-tag
+// alphabet {a, b1..b4, c1..c3} (Table 1: 8 tags, max depth 8, recursive).
+// Child-tag weights are tuned to the Appendix-A d1 selectivity classes:
+// b4 is rare (≈1%, the hc target), b1 and c2 are frequent and
+// mutually nesting (the lc chains //b1//c2//b1), and a recurses.
+var d1Weights = []weighted{
+	{"b1", 24}, {"c2", 24}, {"a", 10}, {"c1", 10}, {"c3", 10},
+	{"b2", 6}, {"b3", 6}, {"b4", 1},
+}
+
+func d1(r *rand.Rand, target int) *xmltree.Document {
+	const maxDepth = 8
+	b := xmltree.NewBuilder()
+	c := &counter{left: target}
+
+	var gen func(depth int)
+	gen = func(depth int) {
+		kids := 2 + r.Intn(3)
+		for i := 0; i < kids && c.left > 0; i++ {
+			if !c.take() {
+				return
+			}
+			tag := pickWeighted(r, d1Weights)
+			if tag == "b4" || depth >= maxDepth-1 || r.Intn(100) < 22 {
+				b.Elem(tag, randText(r, 1))
+				continue
+			}
+			b.Start(tag)
+			gen(depth + 1)
+			b.End()
+		}
+	}
+
+	c.take()
+	b.Start("a")
+	for c.left > 0 {
+		gen(2)
+	}
+	b.End()
+	return b.MustDone()
+}
+
+// d2 generates the XBench-address-like document: 7 tags, shallow, bushy,
+// non-recursive. Presence probabilities of the optional fields tune the
+// selectivity spread that the Appendix-A d2 queries rely on (name_of_state
+// is rare, street_address universal).
+func d2(r *rand.Rand, target int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	c := &counter{left: target}
+	c.take()
+	b.Start("addresses")
+	for c.left > 0 {
+		c.take()
+		b.Start("address")
+		if c.take() {
+			b.Start("street_address")
+			if r.Intn(100) < 12 && c.take() {
+				b.Elem("name_of_state", stateName(r))
+			}
+			if r.Intn(100) < 85 && c.take() {
+				b.Elem("name_of_city", randText(r, 1))
+			}
+			b.End()
+		}
+		if r.Intn(100) < 50 && c.take() {
+			b.Elem("zip_code", fmt.Sprintf("%05d", r.Intn(100000)))
+		}
+		if r.Intn(100) < 30 && c.take() {
+			b.Elem("country_id", countryID(r))
+		}
+		b.End()
+	}
+	b.End()
+	return b.MustDone()
+}
+
+func stateName(r *rand.Rand) string {
+	states := []string{"Ontario", "Quebec", "Alberta", "Manitoba", "Yukon"}
+	return states[r.Intn(len(states))]
+}
+
+func countryID(r *rand.Rand) string {
+	ids := []string{"CA", "US", "IN", "DE", "JP", "BR"}
+	return ids[r.Intn(len(ids))]
+}
+
+// catalogAttrTags pads the catalog tag alphabet to 51 tags, matching
+// Table 1.
+var catalogAttrTags = []string{
+	"length", "width", "height", "weight", "color", "material",
+	"size_of_book", "number_of_pages", "reading_level", "binding",
+	"edition", "language", "format", "genre", "awards",
+}
+
+// d3 generates the XBench-catalog-like document: non-recursive, 51 tags,
+// average depth ~5, max depth 8. The schema follows the Appendix-A d3
+// queries: item/attributes//length, item/title,
+// author/contact_information//street_address, author/date_of_birth,
+// author/last_name, publisher//street_information/street_address,
+// publisher/mailing_address.
+func d3(r *rand.Rand, target int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	c := &counter{left: target}
+
+	address := func(withMailing bool) {
+		// contact_information/(mailing_address)?/street_information/street_address
+		if !c.take() {
+			return
+		}
+		b.Start("contact_information")
+		wrap := withMailing && r.Intn(100) < 70
+		if wrap && c.take() {
+			b.Start("mailing_address")
+		} else {
+			wrap = false
+		}
+		if c.take() {
+			b.Start("street_information")
+			if c.take() {
+				b.Elem("street_address", randText(r, 3))
+			}
+			if r.Intn(2) == 0 && c.take() {
+				b.Elem("name_of_city", randText(r, 1))
+			}
+			if r.Intn(100) < 20 && c.take() {
+				b.Elem("zip_code", fmt.Sprintf("%05d", r.Intn(100000)))
+			}
+			b.End()
+		}
+		if wrap {
+			b.End()
+		}
+		b.End()
+	}
+
+	c.take()
+	b.Start("catalog")
+	for c.left > 0 {
+		c.take()
+		b.Start("item")
+		if c.take() {
+			b.Start("attributes")
+			n := 1 + r.Intn(5)
+			for i := 0; i < n && c.left > 0; i++ {
+				if c.take() {
+					b.Elem(catalogAttrTags[r.Intn(len(catalogAttrTags))], randText(r, 1))
+				}
+			}
+			b.End()
+		}
+		if c.take() {
+			b.Start("title")
+			b.Text(randText(r, 4))
+			if r.Intn(100) < 25 { // nested author inside title, per d3 Q2
+				author(b, r, c, address)
+			}
+			b.End()
+		}
+		if r.Intn(100) < 60 {
+			author(b, r, c, address)
+		}
+		if r.Intn(100) < 45 && c.take() {
+			b.Start("publisher")
+			if c.take() {
+				b.Elem("name_of_publisher", randText(r, 2))
+			}
+			if r.Intn(100) < 75 {
+				address(true)
+			}
+			b.End()
+		}
+		if r.Intn(100) < 30 && c.take() {
+			b.Elem("date_of_release", fmt.Sprintf("19%02d-0%d-1%d", r.Intn(100), 1+r.Intn(9), r.Intn(9)))
+		}
+		for _, extra := range []string{"isbn", "publication_type", "number_of_copies", "cost", "subject"} {
+			if r.Intn(100) < 25 && c.take() {
+				b.Elem(extra, randText(r, 1))
+			}
+		}
+		b.End()
+	}
+	b.End()
+	return b.MustDone()
+}
+
+func author(b *xmltree.Builder, r *rand.Rand, c *counter, address func(bool)) {
+	if !c.take() {
+		return
+	}
+	b.Start("author")
+	if c.take() {
+		b.Elem("first_name", randText(r, 1))
+	}
+	if c.take() {
+		b.Elem("last_name", randText(r, 1))
+	}
+	if r.Intn(100) < 40 && c.take() {
+		b.Elem("date_of_birth", fmt.Sprintf("19%02d", r.Intn(100)))
+	}
+	if r.Intn(100) < 55 {
+		address(true)
+	}
+	if r.Intn(100) < 15 && c.take() {
+		b.Elem("biography", randText(r, 6))
+	}
+	b.End()
+}
+
+// d4Rules drive the Treebank-like generator: weighted production rules
+// mapping each nonterminal to its plausible children, so the grammar
+// chains the Appendix-A d4 queries rely on (VP/VP, VP/NP, NP/PP, PP/PP,
+// PP/IN, NP/NN) occur with realistic frequency. Terminal tags are
+// leaves carrying a token of text.
+var d4Rules = map[string][]weighted{
+	"EMPTY": {{"S", 6}, {"VP", 2}, {"NP", 2}},
+	"S":     {{"NP", 3}, {"VP", 4}, {"S", 1}, {"SBAR", 1}, {"PP", 1}, {"ADVP", 1}},
+	"VP":    {{"VP", 3}, {"NP", 3}, {"PP", 2}, {"VB", 3}, {"MD", 1}, {"SBAR", 1}, {"ADVP", 1}, {"NN", 1}},
+	"NP":    {{"NN", 4}, {"NP", 2}, {"PP", 2}, {"DT", 2}, {"JJ", 2}, {"PRP", 1}, {"SBAR", 1}, {"QP", 1}},
+	"PP":    {{"IN", 3}, {"NP", 3}, {"PP", 2}, {"NN", 1}},
+	"SBAR":  {{"IN", 2}, {"S", 3}, {"WHNP", 1}},
+	"ADJP":  {{"JJ", 3}, {"RB", 1}},
+	"ADVP":  {{"RB", 3}, {"JJ", 1}},
+	"WHNP":  {{"PRP", 1}, {"NN", 2}, {"DT", 1}},
+	"QP":    {{"CD", 3}, {"NN", 1}},
+}
+
+// d4Terminals are the leaf part-of-speech tags; a 4% long tail of
+// numbered variants pads the alphabet toward Table 1's 250 tags.
+var d4Terminals = map[string]bool{
+	"NN": true, "IN": true, "JJ": true, "VB": true, "DT": true,
+	"PRP": true, "RB": true, "CD": true, "MD": true, "NNS": true,
+	"VBD": true, "VBZ": true, "TO": true, "NNP": true, "CC": true,
+}
+
+// d4 generates Treebank-like deep recursive parse trees: grammar-rule
+// expansion with max depth 36, heavy recursion on VP/NP/PP and a long
+// tail of annotated label variants.
+func d4(r *rand.Rand, target int) *xmltree.Document {
+	const maxDepth = 36
+	b := xmltree.NewBuilder()
+	c := &counter{left: target}
+
+	var gen func(tag string, depth int)
+	gen = func(tag string, depth int) {
+		kids := 1 + r.Intn(3)
+		rules := d4Rules[tag]
+		for i := 0; i < kids && c.left > 0; i++ {
+			child := pickWeighted(r, rules)
+			if !c.take() {
+				return
+			}
+			// Force leaves with probability growing in depth, so the
+			// depth distribution matches Table 1 (average ≈8, long tail
+			// to the 36 cap).
+			if d4Terminals[child] || depth >= maxDepth-1 || r.Intn(100) < (depth-6)*4 {
+				leaf := child
+				if r.Intn(100) < 4 {
+					leaf = fmt.Sprintf("%s_%03d", leaf, r.Intn(15))
+				}
+				b.Elem(leaf, randText(r, 1))
+				continue
+			}
+			b.Start(child)
+			gen(child, depth+1)
+			b.End()
+		}
+	}
+
+	c.take()
+	b.Start("FILE")
+	for c.left > 0 {
+		if !c.take() {
+			break
+		}
+		b.Start("EMPTY")
+		gen("EMPTY", 3)
+		b.End()
+	}
+	b.End()
+	return b.MustDone()
+}
+
+// dblpEntryKinds and the per-entry fields give the 35-tag alphabet of
+// Table 1's d5 and the selectivities of the Appendix-A d5 queries
+// (phdthesis rare → high selectivity; proceedings/editor moderate; www
+// moderate; author/title/year ubiquitous → low selectivity).
+var dblpEntryKinds = []struct {
+	tag    string
+	weight int
+}{
+	{"article", 32},
+	{"inproceedings", 38},
+	{"proceedings", 8},
+	{"book", 4},
+	{"incollection", 5},
+	{"phdthesis", 2},
+	{"mastersthesis", 2},
+	{"www", 9},
+}
+
+func d5(r *rand.Rand, target int) *xmltree.Document {
+	totalWeight := 0
+	for _, k := range dblpEntryKinds {
+		totalWeight += k.weight
+	}
+	pick := func() string {
+		w := r.Intn(totalWeight)
+		for _, k := range dblpEntryKinds {
+			if w < k.weight {
+				return k.tag
+			}
+			w -= k.weight
+		}
+		return "article"
+	}
+
+	b := xmltree.NewBuilder()
+	c := &counter{left: target}
+	c.take()
+	b.Start("dblp")
+	for c.left > 0 {
+		kind := pick()
+		if !c.take() {
+			break
+		}
+		b.Start(kind)
+		nAuthors := 1 + r.Intn(3)
+		if kind == "proceedings" {
+			nAuthors = 0
+		}
+		for i := 0; i < nAuthors && c.left > 0; i++ {
+			if c.take() {
+				b.Elem("author", randText(r, 2))
+			}
+		}
+		if c.take() {
+			b.Elem("title", randText(r, 5))
+		}
+		if r.Intn(100) < 92 && c.take() {
+			b.Elem("year", fmt.Sprintf("%d", 1970+r.Intn(35)))
+		}
+		switch kind {
+		case "proceedings":
+			if r.Intn(100) < 85 && c.take() {
+				b.Elem("editor", randText(r, 2))
+			}
+			if r.Intn(100) < 60 && c.take() {
+				b.Elem("publisher", randText(r, 2))
+			}
+			if r.Intn(100) < 55 && c.take() {
+				b.Elem("isbn", fmt.Sprintf("%d", r.Int63n(1e10)))
+			}
+			if r.Intn(100) < 50 && c.take() {
+				b.Elem("url", "db/conf/x"+randText(r, 1))
+			}
+		case "www":
+			if r.Intn(100) < 80 && c.take() {
+				b.Elem("url", "http://"+randText(r, 1)+".org")
+			}
+			if r.Intn(100) < 25 && c.take() {
+				b.Elem("editor", randText(r, 2))
+			}
+			if r.Intn(100) < 15 && c.take() {
+				b.Elem("note", randText(r, 3))
+			}
+		case "phdthesis", "mastersthesis":
+			if r.Intn(100) < 90 && c.take() {
+				b.Elem("school", randText(r, 2))
+			}
+			if r.Intn(100) < 30 && c.take() {
+				b.Elem("url", "http://"+randText(r, 1)+".edu")
+			}
+		case "article":
+			if c.take() {
+				b.Elem("journal", randText(r, 2))
+			}
+			if r.Intn(100) < 70 && c.take() {
+				b.Elem("volume", fmt.Sprintf("%d", 1+r.Intn(40)))
+			}
+			if r.Intn(100) < 75 && c.take() {
+				b.Elem("pages", fmt.Sprintf("%d-%d", r.Intn(500), 500+r.Intn(500)))
+			}
+			if r.Intn(100) < 35 && c.take() {
+				b.Elem("ee", "db/journals/"+randText(r, 1))
+			}
+		case "inproceedings":
+			if c.take() {
+				b.Elem("booktitle", randText(r, 2))
+			}
+			if r.Intn(100) < 70 && c.take() {
+				b.Elem("pages", fmt.Sprintf("%d-%d", r.Intn(500), 500+r.Intn(500)))
+			}
+			if r.Intn(100) < 40 && c.take() {
+				b.Elem("crossref", "conf/"+randText(r, 1))
+			}
+			if r.Intn(100) < 20 && c.take() {
+				b.Elem("url", "db/conf/"+randText(r, 1))
+			}
+		case "book", "incollection":
+			if r.Intn(100) < 60 && c.take() {
+				b.Elem("publisher", randText(r, 2))
+			}
+			if r.Intn(100) < 30 && c.take() {
+				b.Elem("isbn", fmt.Sprintf("%d", r.Int63n(1e10)))
+			}
+			if r.Intn(100) < 25 && c.take() {
+				b.Elem("series", randText(r, 2))
+			}
+		}
+		for _, extra := range []string{"month", "cdrom", "cite", "chapter", "number", "address"} {
+			if r.Intn(100) < 4 && c.take() {
+				b.Elem(extra, randText(r, 1))
+			}
+		}
+		b.End()
+	}
+	b.End()
+	return b.MustDone()
+}

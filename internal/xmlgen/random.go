@@ -1,0 +1,76 @@
+package xmlgen
+
+import (
+	"math/rand"
+
+	"blossomtree/internal/xmltree"
+)
+
+// RandomSpec controls Random document generation for property-based
+// tests.
+type RandomSpec struct {
+	// Tags is the alphabet; defaults to {"a".."e"}.
+	Tags []string
+	// MaxNodes caps the element count (default 50).
+	MaxNodes int
+	// MaxDepth caps element nesting (default 10).
+	MaxDepth int
+	// TextProb is the per-position probability (in percent) of emitting a
+	// text node (default 15).
+	TextProb int
+}
+
+func (s *RandomSpec) defaults() {
+	if len(s.Tags) == 0 {
+		s.Tags = []string{"a", "b", "c", "d", "e"}
+	}
+	if s.MaxNodes <= 0 {
+		s.MaxNodes = 50
+	}
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 10
+	}
+	if s.TextProb < 0 {
+		s.TextProb = 0
+	} else if s.TextProb == 0 {
+		s.TextProb = 15
+	}
+}
+
+// Random generates a random well-formed document. Generation is
+// deterministic in r. Tag recursion is allowed, so random documents
+// exercise the recursive-document code paths of the matcher and joins.
+func Random(r *rand.Rand, spec RandomSpec) *xmltree.Document {
+	spec.defaults()
+	b := xmltree.NewBuilder()
+	budget := 1 + r.Intn(spec.MaxNodes)
+	b.Start(spec.Tags[r.Intn(len(spec.Tags))])
+	budget--
+	depth := 1
+	lastWasText := false
+	for budget > 0 {
+		switch {
+		case depth > 1 && r.Intn(3) == 0:
+			b.End()
+			depth--
+			lastWasText = false
+		case !lastWasText && r.Intn(100) < spec.TextProb:
+			b.Text(words[r.Intn(len(words))])
+			lastWasText = true
+		case depth < spec.MaxDepth:
+			b.Start(spec.Tags[r.Intn(len(spec.Tags))])
+			depth++
+			budget--
+			lastWasText = false
+		default:
+			b.End()
+			depth--
+			lastWasText = false
+		}
+	}
+	for depth > 0 {
+		b.End()
+		depth--
+	}
+	return b.MustDone()
+}

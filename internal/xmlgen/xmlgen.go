@@ -1,0 +1,163 @@
+// Package xmlgen generates the five datasets of the paper's evaluation
+// (Table 1) as synthetic equivalents, plus random documents for
+// property-based testing.
+//
+// The paper uses two synthetic XBench documents (address, catalog), one
+// synthetic recursive-DTD document, and two real datasets (Treebank and
+// DBLP from the UW XML repository). The real datasets are no longer
+// reliably obtainable, so this package generates statistically matched
+// substitutes tuned to the published Table 1 statistics — tag-alphabet
+// size, average and maximum depth, recursion — which are the document
+// properties the compared join algorithms are sensitive to. Sizes are
+// scale-accurate: TargetNodes defaults to 1/40 of the paper's node counts
+// so the full experiment grid runs in minutes; pass a larger value (e.g.
+// via cmd/xmlgen -scale) for paper-scale files.
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blossomtree/internal/xmltree"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	// Seed makes generation deterministic. The same (dataset, Seed,
+	// TargetNodes) always yields the same document.
+	Seed int64
+	// TargetNodes is the approximate number of element nodes to generate;
+	// 0 selects the dataset's default (paper count / 40).
+	TargetNodes int
+}
+
+// Info describes one dataset of Table 1.
+type Info struct {
+	ID          string // "d1".."d5"
+	Name        string
+	Category    string // "synthetic" or "real"
+	Recursive   bool
+	PaperNodes  int    // node count reported in Table 1
+	PaperSize   string // file size reported in Table 1
+	PaperAvgDep int
+	PaperMaxDep int
+	PaperTags   int
+	Description string
+}
+
+// Catalog lists the five datasets in paper order.
+var Catalog = []Info{
+	{
+		ID: "d1", Name: "recursive-dtd", Category: "synthetic", Recursive: true,
+		PaperNodes: 1_212_548, PaperSize: "69 MB", PaperAvgDep: 7, PaperMaxDep: 8, PaperTags: 8,
+		Description: "synthetic document from a recursive DTD over the 8-tag alphabet a, b1..b4, c1..c3",
+	},
+	{
+		ID: "d2", Name: "address", Category: "synthetic", Recursive: false,
+		PaperNodes: 403_201, PaperSize: "17 MB", PaperAvgDep: 3, PaperMaxDep: 3, PaperTags: 7,
+		Description: "XBench address: shallow, bushy, non-recursive",
+	},
+	{
+		ID: "d3", Name: "catalog", Category: "synthetic", Recursive: false,
+		PaperNodes: 620_604, PaperSize: "30 MB", PaperAvgDep: 5, PaperMaxDep: 8, PaperTags: 51,
+		Description: "XBench catalog: moderate depth, 51 tags, non-recursive",
+	},
+	{
+		ID: "d4", Name: "treebank", Category: "real", Recursive: true,
+		PaperNodes: 2_437_666, PaperSize: "82 MB", PaperAvgDep: 8, PaperMaxDep: 36, PaperTags: 250,
+		Description: "Treebank-like deep recursive parse trees (synthetic substitute)",
+	},
+	{
+		ID: "d5", Name: "dblp", Category: "real", Recursive: false,
+		PaperNodes: 3_332_130, PaperSize: "133 MB", PaperAvgDep: 3, PaperMaxDep: 6, PaperTags: 35,
+		Description: "DBLP-like shallow bibliographic records (synthetic substitute)",
+	},
+}
+
+// LookupInfo returns the catalog entry for a dataset ID.
+func LookupInfo(id string) (Info, bool) {
+	for _, in := range Catalog {
+		if in.ID == id {
+			return in, true
+		}
+	}
+	return Info{}, false
+}
+
+// DefaultScaleDivisor is the factor by which default TargetNodes shrink
+// the paper's node counts.
+const DefaultScaleDivisor = 40
+
+// Generate produces the named dataset ("d1".."d5").
+func Generate(id string, cfg Config) (*xmltree.Document, error) {
+	info, ok := LookupInfo(id)
+	if !ok {
+		return nil, fmt.Errorf("xmlgen: unknown dataset %q (want d1..d5)", id)
+	}
+	if cfg.TargetNodes <= 0 {
+		cfg.TargetNodes = info.PaperNodes / DefaultScaleDivisor
+	}
+	r := rand.New(rand.NewSource(cfg.Seed*1469598103 + int64(len(id))))
+	var doc *xmltree.Document
+	switch id {
+	case "d1":
+		doc = d1(r, cfg.TargetNodes)
+	case "d2":
+		doc = d2(r, cfg.TargetNodes)
+	case "d3":
+		doc = d3(r, cfg.TargetNodes)
+	case "d4":
+		doc = d4(r, cfg.TargetNodes)
+	case "d5":
+		doc = d5(r, cfg.TargetNodes)
+	}
+	doc.Name = id
+	if doc.Bytes == 0 {
+		doc.Bytes = estimateBytes(doc)
+	}
+	return doc, nil
+}
+
+// MustGenerate is Generate for known-good dataset IDs.
+func MustGenerate(id string, cfg Config) *xmltree.Document {
+	doc, err := Generate(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// estimateBytes approximates the serialized size without serializing:
+// tags appear twice plus angle brackets, text appears once.
+func estimateBytes(doc *xmltree.Document) int64 {
+	var total int64
+	xmltree.Walk(doc.Root, func(n *xmltree.Node) bool {
+		switch n.Kind {
+		case xmltree.ElementNode:
+			total += int64(2*len(n.Tag) + 5)
+		case xmltree.TextNode:
+			total += int64(len(n.Text))
+		}
+		return true
+	})
+	return total
+}
+
+// words is a tiny vocabulary for text content.
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango",
+}
+
+func randText(r *rand.Rand, maxWords int) string {
+	n := 1 + r.Intn(maxWords)
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += words[r.Intn(len(words))]
+	}
+	return s
+}

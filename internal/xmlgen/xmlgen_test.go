@@ -1,0 +1,169 @@
+package xmlgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blossomtree/internal/xmltree"
+)
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("d9", Config{}); err == nil {
+		t.Error("Generate(d9) should fail")
+	}
+}
+
+func TestLookupInfo(t *testing.T) {
+	in, ok := LookupInfo("d4")
+	if !ok || in.Name != "treebank" || !in.Recursive {
+		t.Errorf("LookupInfo(d4) = %+v, %v", in, ok)
+	}
+	if _, ok := LookupInfo("nope"); ok {
+		t.Error("LookupInfo(nope) succeeded")
+	}
+	if len(Catalog) != 5 {
+		t.Errorf("Catalog has %d entries, want 5", len(Catalog))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("d2", Config{Seed: 7, TargetNodes: 500})
+	b := MustGenerate("d2", Config{Seed: 7, TargetNodes: 500})
+	if !xmltree.DeepEqual(a.DocumentElement(), b.DocumentElement()) {
+		t.Error("same seed produced different documents")
+	}
+	c := MustGenerate("d2", Config{Seed: 8, TargetNodes: 500})
+	if xmltree.DeepEqual(a.DocumentElement(), c.DocumentElement()) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+// TestDatasetShapes checks each generated dataset against the Table 1
+// properties the generators are tuned to reproduce: recursion flag, tag
+// alphabet size (within tolerance), and depth bounds.
+func TestDatasetShapes(t *testing.T) {
+	type bounds struct {
+		minTags, maxTags     int
+		maxDepth             int // generated max depth must not exceed this
+		minMaxDepth          int // and must reach at least this
+		recursive            bool
+		requiredTags         []string
+		forbiddenRecursonTag bool
+	}
+	// Depth convention: xmltree counts the document element as level 1.
+	cases := map[string]bounds{
+		"d1": {minTags: 6, maxTags: 8, maxDepth: 8, minMaxDepth: 6, recursive: true,
+			requiredTags: []string{"a", "b1", "c2", "c3", "b4"}},
+		"d2": {minTags: 6, maxTags: 7, maxDepth: 4, minMaxDepth: 3, recursive: false,
+			requiredTags: []string{"addresses", "address", "street_address", "name_of_state", "zip_code", "country_id", "name_of_city"}},
+		"d3": {minTags: 20, maxTags: 51, maxDepth: 8, minMaxDepth: 6, recursive: false,
+			requiredTags: []string{"item", "attributes", "length", "title", "author", "publisher", "street_information", "street_address", "mailing_address", "date_of_birth", "last_name", "contact_information"}},
+		"d4": {minTags: 25, maxTags: 280, maxDepth: 36, minMaxDepth: 15, recursive: true,
+			requiredTags: []string{"VP", "NP", "PP", "NN", "IN", "JJ", "VB"}},
+		"d5": {minTags: 20, maxTags: 35, maxDepth: 6, minMaxDepth: 2, recursive: false,
+			requiredTags: []string{"dblp", "phdthesis", "author", "school", "www", "url", "proceedings", "editor", "title", "year"}},
+	}
+	for id, bb := range cases {
+		t.Run(id, func(t *testing.T) {
+			doc := MustGenerate(id, Config{Seed: 42, TargetNodes: 20000})
+			s := xmltree.ComputeStats(doc)
+			if s.Recursive != bb.recursive {
+				t.Errorf("%s recursive = %v, want %v (max recursion %d)", id, s.Recursive, bb.recursive, s.MaxRecursion)
+			}
+			if s.Tags < bb.minTags || s.Tags > bb.maxTags {
+				t.Errorf("%s |tags| = %d, want in [%d, %d]", id, s.Tags, bb.minTags, bb.maxTags)
+			}
+			if s.MaxDepth > bb.maxDepth {
+				t.Errorf("%s max depth = %d, cap %d", id, s.MaxDepth, bb.maxDepth)
+			}
+			if s.MaxDepth < bb.minMaxDepth {
+				t.Errorf("%s max depth = %d, want >= %d", id, s.MaxDepth, bb.minMaxDepth)
+			}
+			for _, tag := range bb.requiredTags {
+				if s.TagCounts[tag] == 0 {
+					t.Errorf("%s missing required tag %q", id, tag)
+				}
+			}
+			if s.Elements < 15000 {
+				t.Errorf("%s produced only %d elements for target 20000", id, s.Elements)
+			}
+			if s.Elements > 22000 {
+				t.Errorf("%s overshot: %d elements for target 20000", id, s.Elements)
+			}
+			if doc.Bytes == 0 {
+				t.Errorf("%s has zero size estimate", id)
+			}
+		})
+	}
+}
+
+// TestDatasetSerializable ensures every dataset serializes to well-formed
+// XML that reparses to a deep-equal tree.
+func TestDatasetSerializable(t *testing.T) {
+	for _, in := range Catalog {
+		doc := MustGenerate(in.ID, Config{Seed: 1, TargetNodes: 800})
+		out := xmltree.Serialize(doc.Root, xmltree.WriteOptions{})
+		doc2, err := xmltree.ParseString(out)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v", in.ID, err)
+		}
+		if !xmltree.DeepEqual(doc.DocumentElement(), doc2.DocumentElement()) {
+			t.Errorf("%s: serialize/parse round trip not deep-equal", in.ID)
+		}
+	}
+}
+
+func TestRandomSpecDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	doc := Random(r, RandomSpec{})
+	if doc.DocumentElement() == nil {
+		t.Fatal("random doc has no root")
+	}
+	s := xmltree.ComputeStats(doc)
+	if s.Elements == 0 || s.Elements > 50 {
+		t.Errorf("elements = %d, want 1..50", s.Elements)
+	}
+	// TextProb: -1 disables text entirely.
+	doc = Random(r, RandomSpec{TextProb: -1, MaxNodes: 40})
+	s = xmltree.ComputeStats(doc)
+	if s.Texts != 0 {
+		t.Errorf("TextProb -1 still produced %d text nodes", s.Texts)
+	}
+}
+
+// TestQuickRandomWellFormed: every random document has consistent labels
+// and respects the caps.
+func TestQuickRandomWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := RandomSpec{MaxNodes: 60, MaxDepth: 6}
+		doc := Random(r, spec)
+		s := xmltree.ComputeStats(doc)
+		if s.Elements < 1 || s.Elements > spec.MaxNodes || s.MaxDepth > spec.MaxDepth {
+			return false
+		}
+		prev := -1
+		ok := true
+		xmltree.Walk(doc.DocumentElement(), func(n *xmltree.Node) bool {
+			if n.Start <= prev || n.End < n.Start {
+				ok = false
+			}
+			prev = n.Start
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultTargetNodes(t *testing.T) {
+	doc := MustGenerate("d2", Config{Seed: 1})
+	want := 403_201 / DefaultScaleDivisor
+	s := xmltree.ComputeStats(doc)
+	if s.Elements < want*3/4 || s.Elements > want*5/4 {
+		t.Errorf("default d2 elements = %d, want ≈%d", s.Elements, want)
+	}
+}

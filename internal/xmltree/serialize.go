@@ -1,0 +1,118 @@
+package xmltree
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// xmlEscaper escapes the five predefined XML entities in text content and
+// attribute values.
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+	"'", "&apos;",
+)
+
+// WriteOptions controls serialization.
+type WriteOptions struct {
+	// Indent enables pretty-printing with two-space indentation. Text
+	// content containing only inline text is kept on one line.
+	Indent bool
+}
+
+// Write serializes the subtree rooted at n (or the whole document if n is
+// a DocumentNode) to w.
+func Write(w io.Writer, n *Node, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	if n != nil && n.Kind == DocumentNode {
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			writeNode(bw, c, 0, opts)
+		}
+	} else {
+		writeNode(bw, n, 0, opts)
+	}
+	if opts.Indent {
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Serialize renders the subtree rooted at n as a string.
+func Serialize(n *Node, opts WriteOptions) string {
+	var sb strings.Builder
+	if n != nil && n.Kind == DocumentNode {
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			writeNodeSB(&sb, c, 0, opts)
+		}
+	} else {
+		writeNodeSB(&sb, n, 0, opts)
+	}
+	return sb.String()
+}
+
+type sbWriter interface {
+	io.Writer
+	WriteString(string) (int, error)
+	WriteByte(byte) error
+}
+
+func writeNode(w *bufio.Writer, n *Node, depth int, opts WriteOptions) {
+	writeNodeGeneric(w, n, depth, opts)
+}
+
+func writeNodeSB(sb *strings.Builder, n *Node, depth int, opts WriteOptions) {
+	writeNodeGeneric(sb, n, depth, opts)
+}
+
+func writeNodeGeneric(w sbWriter, n *Node, depth int, opts WriteOptions) {
+	if n == nil {
+		return
+	}
+	indent := func(d int) {
+		w.WriteByte('\n')
+		for i := 0; i < d; i++ {
+			w.WriteString("  ")
+		}
+	}
+	switch n.Kind {
+	case TextNode:
+		w.WriteString(xmlEscaper.Replace(n.Text))
+	case ElementNode:
+		w.WriteByte('<')
+		w.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			w.WriteByte(' ')
+			w.WriteString(a.Name)
+			w.WriteString(`="`)
+			w.WriteString(xmlEscaper.Replace(a.Value))
+			w.WriteByte('"')
+		}
+		if n.FirstChild == nil {
+			w.WriteString("/>")
+			return
+		}
+		w.WriteByte('>')
+		textOnly := true
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind != TextNode {
+				textOnly = false
+				break
+			}
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			if opts.Indent && !textOnly && c.Kind == ElementNode {
+				indent(depth + 1)
+			}
+			writeNodeGeneric(w, c, depth+1, opts)
+		}
+		if opts.Indent && !textOnly {
+			indent(depth)
+		}
+		w.WriteString("</")
+		w.WriteString(n.Tag)
+		w.WriteByte('>')
+	}
+}

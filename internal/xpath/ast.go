@@ -1,0 +1,282 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is the step axis. The fragment covers the axes the paper's
+// formalism uses: child (/), descendant (//), self (.), attribute (@) and
+// following-sibling (which NoK pattern trees admit as a local axis).
+type Axis int
+
+// Axes.
+const (
+	Child Axis = iota
+	Descendant
+	Self
+	FollowingSibling
+	Attribute
+)
+
+// Local reports whether the axis is local in the paper's sense (usable
+// inside a NoK pattern tree without recursive matching). Descendant is
+// the global axis along which BlossomTrees are cut into NoK trees.
+func (a Axis) Local() bool { return a != Descendant }
+
+// String renders the axis in abbreviated XPath syntax.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "/"
+	case Descendant:
+		return "//"
+	case Self:
+		return "."
+	case FollowingSibling:
+		return "/following-sibling::"
+	case Attribute:
+		return "/@"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// SourceKind says where a path starts.
+type SourceKind int
+
+// Source kinds.
+const (
+	SourceContext SourceKind = iota // relative path (context node)
+	SourceRoot                      // absolute path: / or //
+	SourceDoc                       // doc("file.xml")
+	SourceVar                       // $variable
+)
+
+// Source is the origin of a path expression.
+type Source struct {
+	Kind SourceKind
+	Doc  string // for SourceDoc
+	Var  string // for SourceVar
+}
+
+// String renders the source prefix.
+func (s Source) String() string {
+	switch s.Kind {
+	case SourceDoc:
+		return fmt.Sprintf("doc(%q)", s.Doc)
+	case SourceVar:
+		return "$" + s.Var
+	default:
+		return ""
+	}
+}
+
+// Step is one location step: an axis, a node test, and predicates.
+type Step struct {
+	Axis  Axis
+	Test  string // tag name, or "*" for any element; attribute name when Axis == Attribute
+	Preds []Expr
+}
+
+// Matches reports whether the step's node test accepts the tag.
+func (s Step) Matches(tag string) bool { return s.Test == "*" || s.Test == tag }
+
+// String renders the step without its leading axis separator.
+func (s Step) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Test)
+	for _, p := range s.Preds {
+		sb.WriteByte('[')
+		sb.WriteString(p.String())
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Path is a parsed path expression.
+type Path struct {
+	Source Source
+	Steps  []Step
+}
+
+// String reprints the path in source syntax.
+func (p *Path) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Source.String())
+	for i, st := range p.Steps {
+		switch st.Axis {
+		case Descendant:
+			sb.WriteString("//")
+		case Self:
+			if i == 0 && p.Source.Kind == SourceContext {
+				sb.WriteString(".")
+			} else {
+				sb.WriteString("/.")
+			}
+			for _, pr := range st.Preds {
+				sb.WriteString("[" + pr.String() + "]")
+			}
+			continue
+		case FollowingSibling:
+			sb.WriteString("/following-sibling::")
+		case Attribute:
+			if i > 0 || p.Source.Kind != SourceContext {
+				sb.WriteString("/")
+			}
+			sb.WriteString("@")
+		default:
+			if i > 0 || p.Source.Kind != SourceContext {
+				sb.WriteString("/")
+			}
+		}
+		sb.WriteString(st.String())
+	}
+	return sb.String()
+}
+
+// CmpOp is a general comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Eval applies the operator to a string comparison result following
+// XPath's general-comparison semantics for untyped values: numeric
+// comparison when both sides parse as numbers, string comparison
+// otherwise.
+func (o CmpOp) Eval(left, right string) bool {
+	if ln, errL := strconv.ParseFloat(strings.TrimSpace(left), 64); errL == nil {
+		if rn, errR := strconv.ParseFloat(strings.TrimSpace(right), 64); errR == nil {
+			switch o {
+			case OpEq:
+				return ln == rn
+			case OpNeq:
+				return ln != rn
+			case OpLt:
+				return ln < rn
+			case OpLe:
+				return ln <= rn
+			case OpGt:
+				return ln > rn
+			case OpGe:
+				return ln >= rn
+			}
+		}
+	}
+	switch o {
+	case OpEq:
+		return left == right
+	case OpNeq:
+		return left != right
+	case OpLt:
+		return left < right
+	case OpLe:
+		return left <= right
+	case OpGt:
+		return left > right
+	case OpGe:
+		return left >= right
+	}
+	return false
+}
+
+// OperandKind discriminates comparison operands.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OperandPath OperandKind = iota
+	OperandString
+	OperandNumber
+)
+
+// Operand is one side of a comparison inside a predicate: a relative
+// path (including "." for the context node), or a literal.
+type Operand struct {
+	Kind OperandKind
+	Path *Path
+	Str  string
+	Num  float64
+}
+
+// String renders the operand.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandPath:
+		return o.Path.String()
+	case OperandString:
+		return strconv.Quote(o.Str)
+	default:
+		return strconv.FormatFloat(o.Num, 'g', -1, 64)
+	}
+}
+
+// Expr is a predicate expression.
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// Exists tests whether a relative path has at least one match.
+type Exists struct{ Path *Path }
+
+// Compare applies a general comparison between two operands.
+type Compare struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// And is logical conjunction.
+type And struct{ L, R Expr }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Position is a positional predicate [n] (1-based within the matched
+// sibling group, per XPath).
+type Position struct{ N int }
+
+func (Exists) isExpr()   {}
+func (Compare) isExpr()  {}
+func (And) isExpr()      {}
+func (Or) isExpr()       {}
+func (Not) isExpr()      {}
+func (Position) isExpr() {}
+
+// String renders the predicate.
+func (e Exists) String() string { return e.Path.String() }
+
+// String renders the comparison.
+func (e Compare) String() string {
+	return e.Left.String() + e.Op.String() + e.Right.String()
+}
+
+// String renders the conjunction.
+func (e And) String() string { return e.L.String() + " and " + e.R.String() }
+
+// String renders the disjunction.
+func (e Or) String() string { return e.L.String() + " or " + e.R.String() }
+
+// String renders the negation.
+func (e Not) String() string { return "not(" + e.E.String() + ")" }
+
+// String renders the positional predicate.
+func (e Position) String() string { return strconv.Itoa(e.N) }

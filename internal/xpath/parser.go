@@ -1,0 +1,344 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a complete path expression, e.g.
+//
+//	doc("bib.xml")//book[author/last="Knuth"]/title
+//	//a[//b][//c]//e
+//	$book1/title
+//	/a/b//[c/d//e]
+//
+// The grammar is the paper's fragment: child and descendant axes, name
+// tests and wildcards, predicate lists with nested relative paths, value
+// comparisons, position predicates, and `following-sibling::` (the second
+// local axis NoK trees admit).
+func Parse(src string) (*Path, error) {
+	l := NewLexer(src)
+	p, err := ParseFrom(l)
+	if err != nil {
+		return nil, err
+	}
+	if l.Tok().Kind != TokEOF {
+		return nil, fmt.Errorf("xpath: trailing input %q at offset %d", l.Tok().Text, l.Tok().Pos)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for known-good expressions (tests, examples).
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseFrom parses a path starting at the lexer's current token, leaving
+// the lexer positioned after the path. It is the entry point the FLWOR
+// parser uses for embedded paths.
+func ParseFrom(l *Lexer) (*Path, error) {
+	p := parsePath(l)
+	if l.Err() != nil {
+		return nil, fmt.Errorf("xpath: %w", l.Err())
+	}
+	return p, nil
+}
+
+func parsePath(l *Lexer) *Path {
+	p := &Path{}
+	switch tok := l.Tok(); tok.Kind {
+	case TokName:
+		if tok.Text == "doc" {
+			// doc("uri") prefix
+			save := tok
+			l.Advance()
+			if l.Tok().Kind == TokLParen {
+				l.Advance()
+				if l.Tok().Kind != TokString {
+					l.Errorf("expected string literal in doc()")
+					return p
+				}
+				p.Source = Source{Kind: SourceDoc, Doc: l.Tok().Text}
+				l.Advance()
+				if !expect(l, TokRParen) {
+					return p
+				}
+				parseSteps(l, p, true)
+				return p
+			}
+			l.Push(save)
+		}
+		// Relative path.
+		p.Source = Source{Kind: SourceContext}
+		parseRelativeSteps(l, p)
+	case TokVar:
+		p.Source = Source{Kind: SourceVar, Var: tok.Text}
+		l.Advance()
+		parseSteps(l, p, true)
+	case TokSlash, TokDSlash:
+		p.Source = Source{Kind: SourceRoot}
+		parseSteps(l, p, true)
+	case TokDot, TokStar, TokAt, TokAxis:
+		p.Source = Source{Kind: SourceContext}
+		parseRelativeSteps(l, p)
+	default:
+		l.Errorf("expected path expression, got %s", tok.Kind)
+	}
+	return p
+}
+
+// parseSteps parses zero or more (/step | //step) continuations.
+// requireLeading is true after a source prefix (doc(), $var, absolute
+// root), where every step must be introduced by / or //.
+func parseSteps(l *Lexer, p *Path, requireLeading bool) {
+	_ = requireLeading
+	for {
+		var axis Axis
+		switch l.Tok().Kind {
+		case TokSlash:
+			axis = Child
+		case TokDSlash:
+			axis = Descendant
+		default:
+			return
+		}
+		l.Advance()
+		st, ok := parseStep(l, axis)
+		if !ok {
+			return
+		}
+		p.Steps = append(p.Steps, st)
+	}
+}
+
+// parseRelativeSteps parses a relative path: first step has implicit
+// child axis (or is "."), then continuations.
+func parseRelativeSteps(l *Lexer, p *Path) {
+	st, ok := parseStep(l, Child)
+	if !ok {
+		return
+	}
+	p.Steps = append(p.Steps, st)
+	parseSteps(l, p, false)
+}
+
+// parseStep parses a single step after its axis separator has been
+// consumed. The default axis may be overridden by an explicit axis::
+// prefix or @ shorthand. A bare predicate list (e.g. the paper's
+// "//[c/d//e]") is a wildcard test.
+func parseStep(l *Lexer, axis Axis) (Step, bool) {
+	st := Step{Axis: axis}
+	switch tok := l.Tok(); tok.Kind {
+	case TokAxis:
+		switch tok.Text {
+		case "child":
+			st.Axis = Child
+		case "descendant":
+			st.Axis = Descendant
+		case "self":
+			st.Axis = Self
+		case "following-sibling":
+			st.Axis = FollowingSibling
+		case "attribute":
+			st.Axis = Attribute
+		default:
+			l.Errorf("unsupported axis %q (fragment allows child, descendant, self, following-sibling, attribute)", tok.Text)
+			return st, false
+		}
+		l.Advance()
+		return parseNodeTest(l, st)
+	case TokAt:
+		st.Axis = Attribute
+		l.Advance()
+		return parseNodeTest(l, st)
+	case TokDot:
+		st.Axis = Self
+		st.Test = "*"
+		l.Advance()
+		parsePredicates(l, &st)
+		return st, l.Err() == nil
+	case TokLBracket:
+		// "//[pred]" — wildcard test with predicates.
+		st.Test = "*"
+		parsePredicates(l, &st)
+		return st, l.Err() == nil
+	default:
+		return parseNodeTest(l, st)
+	}
+}
+
+func parseNodeTest(l *Lexer, st Step) (Step, bool) {
+	switch tok := l.Tok(); tok.Kind {
+	case TokName:
+		st.Test = tok.Text
+	case TokStar:
+		st.Test = "*"
+	default:
+		l.Errorf("expected node test, got %s", tok.Kind)
+		return st, false
+	}
+	l.Advance()
+	parsePredicates(l, &st)
+	return st, l.Err() == nil
+}
+
+func parsePredicates(l *Lexer, st *Step) {
+	for l.Tok().Kind == TokLBracket {
+		l.Advance()
+		e := parseOr(l)
+		if !expect(l, TokRBracket) {
+			return
+		}
+		st.Preds = append(st.Preds, e)
+	}
+}
+
+func parseOr(l *Lexer) Expr {
+	e := parseAnd(l)
+	for l.Tok().Kind == TokName && l.Tok().Text == "or" {
+		l.Advance()
+		e = Or{L: e, R: parseAnd(l)}
+	}
+	return e
+}
+
+func parseAnd(l *Lexer) Expr {
+	e := parseUnary(l)
+	for l.Tok().Kind == TokName && l.Tok().Text == "and" {
+		l.Advance()
+		e = And{L: e, R: parseUnary(l)}
+	}
+	return e
+}
+
+func parseUnary(l *Lexer) Expr {
+	if tok := l.Tok(); tok.Kind == TokName && tok.Text == "not" {
+		save := tok
+		l.Advance()
+		if l.Tok().Kind == TokLParen {
+			l.Advance()
+			inner := parseOr(l)
+			expect(l, TokRParen)
+			return Not{E: inner}
+		}
+		l.Push(save)
+	}
+	if tok := l.Tok(); tok.Kind == TokLParen {
+		l.Advance()
+		inner := parseOr(l)
+		expect(l, TokRParen)
+		return inner
+	}
+	return parseComparison(l)
+}
+
+func parseComparison(l *Lexer) Expr {
+	// Positional shorthand [2].
+	if tok := l.Tok(); tok.Kind == TokNumber {
+		n, err := strconv.Atoi(tok.Text)
+		if err != nil || n < 1 {
+			l.Errorf("positional predicate must be a positive integer, got %q", tok.Text)
+			return Position{N: 1}
+		}
+		l.Advance()
+		return Position{N: n}
+	}
+	left, isPosition := parseOperand(l)
+	op, isCmp := cmpOp(l.Tok().Kind)
+	if !isCmp {
+		if isPosition {
+			l.Errorf("position() requires a comparison")
+			return Position{N: 1}
+		}
+		if left.Kind != OperandPath {
+			l.Errorf("literal predicate must be part of a comparison")
+			return Exists{Path: left.Path}
+		}
+		return Exists{Path: left.Path}
+	}
+	l.Advance()
+	right, rightPos := parseOperand(l)
+	if rightPos {
+		l.Errorf("position() must appear on the left of a comparison")
+	}
+	if isPosition {
+		if op != OpEq || right.Kind != OperandNumber {
+			l.Errorf("only position() = N is supported")
+			return Position{N: 1}
+		}
+		return Position{N: int(right.Num)}
+	}
+	return Compare{Left: left, Op: op, Right: right}
+}
+
+func cmpOp(k TokKind) (CmpOp, bool) {
+	switch k {
+	case TokEq:
+		return OpEq, true
+	case TokNeq:
+		return OpNeq, true
+	case TokLt:
+		return OpLt, true
+	case TokLe:
+		return OpLe, true
+	case TokGt:
+		return OpGt, true
+	case TokGe:
+		return OpGe, true
+	}
+	return 0, false
+}
+
+// parseOperand parses one comparison operand; the bool result reports
+// whether it was the position() function.
+func parseOperand(l *Lexer) (Operand, bool) {
+	switch tok := l.Tok(); tok.Kind {
+	case TokString:
+		l.Advance()
+		return Operand{Kind: OperandString, Str: tok.Text}, false
+	case TokNumber:
+		n, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			l.Errorf("bad number %q", tok.Text)
+		}
+		l.Advance()
+		return Operand{Kind: OperandNumber, Num: n}, false
+	case TokName:
+		if tok.Text == "position" {
+			save := tok
+			l.Advance()
+			if l.Tok().Kind == TokLParen {
+				l.Advance()
+				expect(l, TokRParen)
+				return Operand{Kind: OperandPath}, true
+			}
+			l.Push(save)
+		}
+	}
+	// Relative path operand (includes "." and "@attr").
+	p := &Path{Source: Source{Kind: SourceContext}}
+	switch l.Tok().Kind {
+	case TokDot, TokName, TokStar, TokAt, TokAxis, TokSlash, TokDSlash:
+		if l.Tok().Kind == TokSlash || l.Tok().Kind == TokDSlash {
+			parseSteps(l, p, true)
+		} else {
+			parseRelativeSteps(l, p)
+		}
+	default:
+		l.Errorf("expected operand, got %s", l.Tok().Kind)
+	}
+	return Operand{Kind: OperandPath, Path: p}, false
+}
+
+func expect(l *Lexer, k TokKind) bool {
+	if l.Tok().Kind != k {
+		l.Errorf("expected %s, got %s", k, l.Tok().Kind)
+		return false
+	}
+	l.Advance()
+	return true
+}

@@ -1,0 +1,333 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimplePaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // round-tripped String()
+	}{
+		{`/a/b/c`, `/a/b/c`},
+		{`//a//b`, `//a//b`},
+		{`/a//b/c`, `/a//b/c`},
+		{`doc("bib.xml")//book`, `doc("bib.xml")//book`},
+		{`$book1/title`, `$book1/title`},
+		{`$x`, `$x`},
+		{`a/b`, `a/b`},
+		{`.`, `.`},
+		{`*`, `*`},
+		{`//a/*/b`, `//a/*/b`},
+		{`/a/following-sibling::b`, `/a/following-sibling::b`},
+		{`@id`, `@id`},
+		{`a/@id`, `a/@id`},
+		{`//a[//b][//c]//e`, `//a[//b][//c]//e`},
+		{`//a[b/c]`, `//a[b/c]`},
+		{`//book[2]`, `//book[2]`},
+		{`//a[.="x"]`, `//a[.="x"]`},
+		{`//a[b="x" and c="y"]`, `//a[b="x" and c="y"]`},
+		{`//a[not(b)]`, `//a[not(b)]`},
+		{`//a[b or c]`, `//a[b or c]`},
+		{`//a[@id="7"]`, `//a[@id="7"]`},
+		{`//a[price<10]`, `//a[price<10]`},
+		{`//a[price>=10.5]`, `//a[price>=10.5]`},
+	}
+	for _, c := range cases {
+		t.Run(c.in, func(t *testing.T) {
+			p, err := Parse(c.in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", c.in, err)
+			}
+			if got := p.String(); got != c.want {
+				t.Errorf("round trip: %q -> %q, want %q", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestParseBareDescendantPredicate(t *testing.T) {
+	// From §2.1 and Table 2: "/a/b//[c/d//e]" — a descendant step that is
+	// all predicate, meaning descendant::*[c/d//e].
+	p, err := Parse(`/a/b//[c/d//e]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 3 {
+		t.Fatalf("got %d steps", len(p.Steps))
+	}
+	last := p.Steps[2]
+	if last.Axis != Descendant || last.Test != "*" || len(last.Preds) != 1 {
+		t.Errorf("last step = %+v", last)
+	}
+	ex, ok := last.Preds[0].(Exists)
+	if !ok {
+		t.Fatalf("pred = %T", last.Preds[0])
+	}
+	if got := ex.Path.String(); got != "c/d//e" {
+		t.Errorf("pred path = %q", got)
+	}
+}
+
+func TestParseAppendixQueries(t *testing.T) {
+	queries := []string{
+		// Table 2 categories
+		`/a/b//[c/d//e]`,
+		`/a//b[//c/d]//e/f`,
+		`//a//b//c`,
+		`//a/b[//c][//d][//e]`,
+		`//a//b`,
+		`//a[//b][//c]//e`,
+		// d1
+		`//a//b4`,
+		`//a[//b2][//b1]//b3`,
+		`//a//c2/b1/c2/b1//c3`,
+		`//a//c2//b1/c2[//c2[b1]]/b1//c3`,
+		`//b1//c2//b1`,
+		`//b1//c2[//c3]//b1`,
+		// d2
+		`//addresses//street_address//name_of_state`,
+		`//addresses[//zip_code][//country_id]`,
+		`//address[//name_of_state][//zip_code]//street_address`,
+		`//address[//street_address][//zip_code][//name_of_city]`,
+		// d3
+		`//item/attributes//length`,
+		`//item/title[//author/contact_information//street_address]`,
+		`//publisher[//mailing_address]//street_address`,
+		`//author[date_of_birth][//last_name]//street_address`,
+		// d4
+		`//VP//VP/NP//PP/PP`,
+		`//VP[VP]//VP[PP]/NP[PP]/NN`,
+		`//VP[//NP][//VB]//JJ`,
+		// d5
+		`//phdthesis[//author][//school]`,
+		`//www[//editor][//title][//year]`,
+		`//proceedings[//editor][//year][//url]`,
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`/`,
+		`//`,
+		`/a[`,
+		`/a[]`,
+		`/a]`,
+		`/a[b=]`,
+		`$`,
+		`doc(`,
+		`doc(bib)`,
+		`doc("x"`,
+		`/a[="x"]`,
+		`/a["lit"]`,
+		`/a[position()]`,
+		`/a[position()>2]`,
+		`/a[b=position()]`,
+		`/a[0]`,
+		`/a/ancestor::b`,
+		`/a/b extra`,
+		`/a[not(]`,
+		`/a b`,
+		`"str"`,
+		`/a[b="unterminated]`,
+		`/a#b`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParsePositionForms(t *testing.T) {
+	p := MustParse(`//book[position()=2]`)
+	pos, ok := p.Steps[0].Preds[0].(Position)
+	if !ok || pos.N != 2 {
+		t.Errorf("pred = %#v", p.Steps[0].Preds[0])
+	}
+	p = MustParse(`//book[3]`)
+	pos, ok = p.Steps[0].Preds[0].(Position)
+	if !ok || pos.N != 3 {
+		t.Errorf("pred = %#v", p.Steps[0].Preds[0])
+	}
+}
+
+func TestParseNestedPredicates(t *testing.T) {
+	p := MustParse(`//a//c2[//c2[b1]]/b1`)
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	c2 := p.Steps[1]
+	ex, ok := c2.Preds[0].(Exists)
+	if !ok {
+		t.Fatalf("pred type %T", c2.Preds[0])
+	}
+	inner := ex.Path
+	if len(inner.Steps) != 1 || inner.Steps[0].Axis != Descendant || inner.Steps[0].Test != "c2" {
+		t.Errorf("inner = %+v", inner.Steps)
+	}
+	if len(inner.Steps[0].Preds) != 1 {
+		t.Errorf("inner preds = %v", inner.Steps[0].Preds)
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r string
+		want bool
+	}{
+		{OpEq, "abc", "abc", true},
+		{OpEq, "10", "10.0", true}, // numeric comparison
+		{OpNeq, "10", "10.0", false},
+		{OpLt, "2", "10", true},   // numeric, not lexicographic
+		{OpLt, "b", "a10", false}, // string comparison
+		{OpLe, "2", "2", true},
+		{OpGt, "3.5", "3", true},
+		{OpGe, "z", "a", true},
+		{OpNeq, "x", "y", true},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.l, c.r); got != c.want {
+			t.Errorf("%q %s %q = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestAxisProperties(t *testing.T) {
+	if Descendant.Local() {
+		t.Error("// must be global")
+	}
+	for _, a := range []Axis{Child, Self, FollowingSibling, Attribute} {
+		if !a.Local() {
+			t.Errorf("%v should be local", a)
+		}
+	}
+	if Child.String() != "/" || Descendant.String() != "//" {
+		t.Error("axis String wrong")
+	}
+}
+
+func TestStepMatches(t *testing.T) {
+	s := Step{Test: "book"}
+	if !s.Matches("book") || s.Matches("title") {
+		t.Error("name test wrong")
+	}
+	w := Step{Test: "*"}
+	if !w.Matches("anything") {
+		t.Error("wildcard test wrong")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	p := MustParse(`//a[not(b="x" or c!="y") and d]`)
+	got := p.String()
+	for _, want := range []string{"not(", " or ", " and ", `b="x"`, `c!="y"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestLexerPushback(t *testing.T) {
+	l := NewLexer("a b")
+	first := l.Tok()
+	l.Advance()
+	second := l.Tok()
+	l.Push(first)
+	if l.Tok().Text != "a" {
+		t.Errorf("after Push, tok = %v", l.Tok())
+	}
+	l.Advance()
+	if l.Tok() != second {
+		t.Errorf("after re-Advance, tok = %v, want %v", l.Tok(), second)
+	}
+}
+
+func TestLexerFLWORTokens(t *testing.T) {
+	l := NewLexer(`for $x in doc("f") where $a << $b return { $x } , y := 1 >> .`)
+	var kinds []TokKind
+	for l.Tok().Kind != TokEOF {
+		kinds = append(kinds, l.Tok().Kind)
+		l.Advance()
+	}
+	if l.Err() != nil {
+		t.Fatal(l.Err())
+	}
+	want := []TokKind{
+		TokName, TokVar, TokName, TokName, TokLParen, TokString, TokRParen,
+		TokName, TokVar, TokBefore, TokVar, TokName, TokLBrace, TokVar,
+		TokRBrace, TokComma, TokName, TokAssign, TokNumber, TokAfter, TokDot,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	p := MustParse(`//a[b="x"]`)
+	cmp := p.Steps[0].Preds[0].(Compare)
+	if cmp.Left.String() != "b" || cmp.Right.String() != `"x"` {
+		t.Errorf("operands = %q, %q", cmp.Left.String(), cmp.Right.String())
+	}
+	p = MustParse(`//a[b=3]`)
+	cmp = p.Steps[0].Preds[0].(Compare)
+	if cmp.Right.String() != "3" {
+		t.Errorf("number operand = %q", cmp.Right.String())
+	}
+}
+
+// TestQuickParseStringIdempotent: reparsing a parsed path's String()
+// yields the same String() — the printer and parser agree.
+func TestQuickParseStringIdempotent(t *testing.T) {
+	tags := []string{"a", "bb", "c1", "*"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		steps := 1 + r.Intn(4)
+		for i := 0; i < steps; i++ {
+			if r.Intn(2) == 0 {
+				sb.WriteString("//")
+			} else {
+				sb.WriteString("/")
+			}
+			sb.WriteString(tags[r.Intn(len(tags))])
+			if r.Intn(4) == 0 {
+				sb.WriteString("[" + tags[r.Intn(3)] + "]")
+			}
+			if r.Intn(5) == 0 {
+				sb.WriteString(`[.="v"]`)
+			}
+		}
+		src := sb.String()
+		p1, err := Parse(src)
+		if err != nil {
+			t.Logf("Parse(%q): %v", src, err)
+			return false
+		}
+		s1 := p1.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Logf("reparse(%q): %v", s1, err)
+			return false
+		}
+		return p2.String() == s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

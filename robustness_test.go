@@ -1,0 +1,88 @@
+package blossomtree_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"blossomtree"
+)
+
+// TestQuickNoPanicsOnArbitraryQueries feeds random byte soup and
+// near-miss query strings to the engine: every input must either
+// evaluate or return an error — never panic.
+func TestQuickNoPanicsOnArbitraryQueries(t *testing.T) {
+	eng := blossomtree.NewEngine()
+	if err := eng.LoadString("d", `<r><a><b>x</b></a><c/></r>`); err != nil {
+		t.Fatal(err)
+	}
+	pieces := []string{
+		"for", "let", "where", "return", "order", "by", "in", "$x", "$y",
+		"//", "/", "[", "]", "(", ")", "{", "}", "<", ">", "<<", ">>",
+		"=", "!=", ":=", "doc(\"d\")", "a", "b", "c", "*", "@id", ".",
+		"\"lit\"", "42", "and", "or", "not", "deep-equal", "exists",
+		"position()", ",", "following-sibling::",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+			if r.Intn(2) == 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		q := sb.String()
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panic on query %q: %v", q, rec)
+			}
+		}()
+		_, _ = eng.Query(q) // error or success both fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoPanicsOnByteSoup goes further: completely random bytes.
+func TestQuickNoPanicsOnByteSoup(t *testing.T) {
+	eng := blossomtree.NewEngine()
+	if err := eng.LoadString("d", `<r><a/></r>`); err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []byte) bool {
+		q := string(raw)
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panic on %q: %v", q, rec)
+			}
+		}()
+		_, _ = eng.Query(q)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoPanicsOnBrokenXML: arbitrary bytes as documents must parse
+// or error, never panic.
+func TestQuickNoPanicsOnBrokenXML(t *testing.T) {
+	f := func(raw []byte) bool {
+		eng := blossomtree.NewEngine()
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panic on XML %q: %v", raw, rec)
+			}
+		}()
+		_ = eng.LoadString("x", string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
