@@ -1,0 +1,34 @@
+# BlossomTree build/verify tiers.
+#
+#   make build   — compile everything
+#   make test    — tier-1 verify: build + full test suite
+#   make check   — tier-2 verify: go vet + race-detector test run
+#   make bench   — paper-table + concurrency benchmarks
+#   make qps     — serial vs parallel batch throughput report
+
+GO ?= go
+
+.PHONY: build test vet race check bench qps
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-2 verify (referenced by ROADMAP.md): static analysis plus the
+# full suite under the race detector, which exercises the concurrent
+# Add+Eval stress tests against the snapshot engine.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+qps:
+	$(GO) run ./cmd/blossombench -qps -workers 4

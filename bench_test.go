@@ -382,3 +382,61 @@ func BenchmarkMicroStorage(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBatchThroughput measures query batches on one shared engine,
+// serial vs across all cores — the scaling the concurrency-safe
+// snapshot engine exists for. Speedup tracks core count; on a
+// single-CPU machine the two arms should be within noise of each other.
+func BenchmarkBatchThroughput(b *testing.B) {
+	ds := dataset(b, "d3")
+	eng := blossomtree.NewEngine()
+	eng.LoadDocument("d3", ds.Doc)
+	var batch []string
+	for r := 0; r < 4; r++ {
+		for _, q := range bench.Suite("d3") {
+			batch = append(batch, q.Text)
+		}
+	}
+	for _, workers := range []int{1, -1} {
+		name := "serial"
+		if workers != 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := eng.QueryBatch(batch, blossomtree.Options{}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPreScan measures the intra-query fan-out: one
+// multi-NoK query executed with serial base scans vs pre-scanned in
+// parallel.
+func BenchmarkParallelPreScan(b *testing.B) {
+	ds := dataset(b, "d3")
+	eng := blossomtree.NewEngineNoIndexes()
+	eng.LoadDocument("d3", ds.Doc)
+	const q = `//author[date_of_birth][//last_name]//street_address`
+	for _, par := range []int{0, -1} {
+		name := "serial"
+		if par != 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryWith(q, blossomtree.Options{Parallel: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -90,12 +90,17 @@ type Options struct {
 	// MergeScans evaluates all sequentially-scanned NoK pattern trees in
 	// a single shared document traversal (the merged-NoK optimization).
 	MergeScans bool
+	// Parallel fans the plan's independent NoK base scans out across at
+	// most Parallel worker goroutines (0 or 1 = serial; negative =
+	// GOMAXPROCS). Takes precedence over MergeScans.
+	Parallel int
 }
 
-// Engine evaluates queries over loaded documents. An Engine is not safe
-// for concurrent use; evaluation itself does not mutate documents, so
-// read-only concurrent queries over separate Engines sharing no state
-// are fine.
+// Engine evaluates queries over loaded documents. An Engine is safe for
+// concurrent use: loading installs an immutable copy-on-write snapshot
+// of the document catalog, every query evaluates against the snapshot
+// current when it started, and documents are never mutated after
+// loading. Any number of goroutines may query while others load.
 type Engine struct {
 	inner *exec.Engine
 }
@@ -229,11 +234,80 @@ func (e *Engine) QueryWith(src string, opts Options) (*Result, error) {
 	res, err := e.inner.EvalOptions(src, plan.Options{
 		Strategy:   strat,
 		MergeScans: opts.MergeScans,
+		Parallel:   opts.Parallel,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return newResult(res), nil
+}
+
+// BatchResult pairs one query of a QueryBatch call with its outcome.
+type BatchResult struct {
+	Query  string
+	Result *Result
+	Err    error
+}
+
+// QueryBatch evaluates a batch of queries concurrently across at most
+// workers goroutines (workers <= 0 means GOMAXPROCS), returning one
+// result per query in input order. The whole batch sees the document
+// catalog as of the call, even while other goroutines load documents.
+func (e *Engine) QueryBatch(srcs []string, opts Options, workers int) ([]BatchResult, error) {
+	strat, err := opts.Strategy.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	raw := e.inner.EvalBatch(srcs, plan.Options{
+		Strategy:   strat,
+		MergeScans: opts.MergeScans,
+		Parallel:   opts.Parallel,
+	}, workers)
+	out := make([]BatchResult, len(raw))
+	for i, r := range raw {
+		out[i] = BatchResult{Query: r.Query, Err: r.Err}
+		if r.Result != nil {
+			out[i].Result = newResult(r.Result)
+		}
+	}
+	return out, nil
+}
+
+// DocumentResult pairs one loaded document of a QueryAllDocuments call
+// with the query's outcome on it.
+type DocumentResult struct {
+	URI    string
+	Result *Result
+	Err    error
+}
+
+// QueryAllDocuments evaluates one query independently against every
+// loaded document in parallel (workers <= 0 means GOMAXPROCS). Inside
+// each per-document evaluation, every doc("…") URI and absolute path
+// resolves to that document — the fan-out form of the multi-document
+// queries the single-document planner rejects. Results are sorted by
+// URI.
+func (e *Engine) QueryAllDocuments(src string, opts Options, workers int) ([]DocumentResult, error) {
+	strat, err := opts.Strategy.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := e.inner.EvalAllDocs(src, plan.Options{
+		Strategy:   strat,
+		MergeScans: opts.MergeScans,
+		Parallel:   opts.Parallel,
+	}, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DocumentResult, len(raw))
+	for i, r := range raw {
+		out[i] = DocumentResult{URI: r.URI, Err: r.Err}
+		if r.Result != nil {
+			out[i].Result = newResult(r.Result)
+		}
+	}
+	return out, nil
 }
 
 // Explain compiles a query and renders the physical plan the optimizer

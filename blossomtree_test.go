@@ -1,7 +1,9 @@
 package blossomtree
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -239,5 +241,101 @@ func TestSegmentRoundTripViaFacade(t *testing.T) {
 	}
 	if _, err := NewEngine().EncodeSegment("missing"); err == nil {
 		t.Error("EncodeSegment without documents should fail")
+	}
+}
+
+func TestQueryBatchViaFacade(t *testing.T) {
+	e := newBib(t)
+	queries := []string{
+		`//book/title`,
+		`//book[author/last="Knuth"]/title`,
+		`not a query`,
+		`for $b in doc("bib.xml")//book where $b/price < 50 return <c>{ $b/title }</c>`,
+	}
+	results, err := e.QueryBatch(queries, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("results = %d, want %d", len(results), len(queries))
+	}
+	wantLens := []int{4, 2, -1, 3}
+	for i, r := range results {
+		if r.Query != queries[i] {
+			t.Errorf("result %d query = %q", i, r.Query)
+		}
+		if wantLens[i] < 0 {
+			if r.Err == nil {
+				t.Errorf("result %d: expected error", i)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.Result.Len() != wantLens[i] {
+			t.Errorf("result %d len = %d, want %d", i, r.Result.Len(), wantLens[i])
+		}
+	}
+	if _, err := e.QueryBatch(queries, Options{Strategy: "bogus"}, 2); err == nil {
+		t.Error("bad strategy should fail the whole batch call")
+	}
+}
+
+func TestQueryAllDocumentsViaFacade(t *testing.T) {
+	e := newBib(t)
+	if err := e.LoadString("tiny.xml", `<bib><book><title>T</title></book></bib>`); err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.QueryAllDocuments(`//book/title`, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"bib.xml": 4, "tiny.xml": 1}
+	if len(results) != len(want) {
+		t.Fatalf("results = %d, want %d", len(results), len(want))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("doc %s: %v", r.URI, r.Err)
+		}
+		if got := len(r.Result.Nodes()); got != want[r.URI] {
+			t.Errorf("doc %s: %d titles, want %d", r.URI, got, want[r.URI])
+		}
+	}
+}
+
+func TestConcurrentLoadAndQueryViaFacade(t *testing.T) {
+	e := newBib(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if g%2 == 0 {
+					if err := e.LoadString(fmt.Sprintf("g%d-%d.xml", g, i), bib); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					res, err := e.Query(`doc("bib.xml")//book/title`)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Len() != 4 {
+						errs <- fmt.Errorf("len = %d, want 4", res.Len())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

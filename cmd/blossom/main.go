@@ -29,6 +29,7 @@ func main() {
 		strategy = flag.String("strategy", "auto", "join strategy: auto, pipelined, bounded-nl, twigstack, navigational")
 		explain  = flag.Bool("explain", false, "print the physical plan instead of executing")
 		noIndex  = flag.Bool("no-indexes", false, "disable tag indexes (streaming configuration)")
+		parallel = flag.Int("parallel", 0, "fan independent NoK scans out across N workers (-1 = all cores)")
 		indent   = flag.Bool("indent", false, "pretty-print XML output")
 		quiet    = flag.Bool("count", false, "print only the result count")
 	)
@@ -62,6 +63,7 @@ func main() {
 
 	res, err := eng.QueryWith(query, blossomtree.Options{
 		Strategy: blossomtree.Strategy(*strategy),
+		Parallel: *parallel,
 	})
 	if err != nil {
 		fatal(err)

@@ -5,10 +5,14 @@
 //	blossombench -table 2                 # query categories + Appendix-A suites (Table 2)
 //	blossombench -table 3                 # running-time grid XH/TS/PL/NL (Table 3)
 //	blossombench -table 3 -scale 0.1 -timeout 60s -datasets d1,d5
+//	blossombench -qps -workers 4          # serial vs parallel batch throughput
 //
 // Sizes default to 1/40 of the paper's node counts so the full grid runs
 // in minutes; -scale approaches the published 17–133 MB datasets. The
-// timeout models the paper's 15-minute DNF cutoff.
+// timeout models the paper's 15-minute DNF cutoff. The -qps mode goes
+// beyond the paper: it evaluates each dataset's query suite as a batch
+// on the concurrency-safe engine, once on a single worker and once
+// across -workers workers, and reports QPS and speedup.
 package main
 
 import (
@@ -32,6 +36,9 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "runs per cell, averaged (the paper averages three)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. d2,d5")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		qps      = flag.Bool("qps", false, "measure serial vs parallel batch throughput instead of a table")
+		workers  = flag.Int("workers", 0, "parallel worker count for -qps (0 = all cores)")
+		rounds   = flag.Int("rounds", 20, "suite repetitions per -qps batch")
 	)
 	flag.Parse()
 
@@ -43,6 +50,29 @@ func main() {
 		case *scale > 0:
 			targets[in.ID] = int(float64(in.PaperNodes) * *scale)
 		}
+	}
+
+	if *qps {
+		cfg := bench.ThroughputConfig{
+			Seed:        *seed,
+			TargetNodes: targets,
+			Workers:     *workers,
+			Rounds:      *rounds,
+		}
+		if *datasets != "" {
+			cfg.Datasets = strings.Split(*datasets, ",")
+		}
+		progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+		if *quiet {
+			progress = nil
+		}
+		rows, err := bench.RunThroughput(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Batch throughput: serial vs parallel evaluation on one shared engine")
+		fmt.Print(bench.FormatThroughput(rows))
+		return
 	}
 
 	switch *table {

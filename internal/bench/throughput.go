@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"blossomtree/internal/exec"
+	"blossomtree/internal/plan"
+)
+
+// ThroughputConfig configures a serial-vs-parallel batch throughput
+// measurement: the same batch of queries is evaluated once on a single
+// worker and once across Workers workers on a shared engine, and the
+// two runs are compared.
+type ThroughputConfig struct {
+	Seed        int64
+	TargetNodes map[string]int // per dataset; missing = default scale
+	Datasets    []string       // default: all five
+	Workers     int            // parallel worker count; <= 0 = GOMAXPROCS
+	Rounds      int            // suite repetitions per batch; <= 0 = 20
+}
+
+// ThroughputRow is the serial-vs-parallel comparison for one dataset.
+type ThroughputRow struct {
+	Dataset     string
+	Queries     int // batch size (rounds × suite)
+	Workers     int
+	Serial      time.Duration
+	Parallel    time.Duration
+	SerialQPS   float64
+	ParallelQPS float64
+	Speedup     float64
+	Errors      int
+}
+
+// RunThroughput measures batch throughput per dataset. Each dataset's
+// Appendix-A suite is repeated Rounds times into one batch; the batch
+// runs through exec.Engine.EvalBatch with 1 worker and again with
+// cfg.Workers workers. A warm-up pass precedes the timed runs so both
+// measure a hot engine.
+func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 20
+	}
+	datasets := cfg.Datasets
+	if len(datasets) == 0 {
+		datasets = Datasets()
+	}
+	var rows []ThroughputRow
+	for _, id := range datasets {
+		ds, err := LoadDataset(id, cfg.TargetNodes[id], cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		eng := exec.New()
+		eng.Add(ds.ID, ds.Doc)
+
+		var batch []string
+		for r := 0; r < rounds; r++ {
+			for _, q := range Suite(id) {
+				batch = append(batch, q.Text)
+			}
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("dataset %s: %d elements, batch of %d queries (%d CPUs available)",
+				id, ds.Stats.Elements, len(batch), runtime.NumCPU()))
+		}
+
+		opts := plan.Options{}
+		// Warm-up: one pass over the suite so parser/plan caches and the
+		// allocator are in steady state before timing.
+		for _, q := range Suite(id) {
+			if _, err := eng.Eval(q.Text); err != nil {
+				return nil, fmt.Errorf("bench: warm-up %s on %s: %w", q.ID, id, err)
+			}
+		}
+
+		row := ThroughputRow{Dataset: id, Queries: len(batch), Workers: workers}
+
+		start := time.Now()
+		serial := eng.EvalBatch(batch, opts, 1)
+		row.Serial = time.Since(start)
+
+		start = time.Now()
+		par := eng.EvalBatch(batch, opts, workers)
+		row.Parallel = time.Since(start)
+
+		for i := range serial {
+			if serial[i].Err != nil || par[i].Err != nil {
+				row.Errors++
+			}
+		}
+		row.SerialQPS = qps(len(batch), row.Serial)
+		row.ParallelQPS = qps(len(batch), row.Parallel)
+		if row.Parallel > 0 {
+			row.Speedup = row.Serial.Seconds() / row.Parallel.Seconds()
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("  %s: serial %.3fs (%.0f q/s), parallel[%d] %.3fs (%.0f q/s), speedup %.2f×",
+				id, row.Serial.Seconds(), row.SerialQPS, workers,
+				row.Parallel.Seconds(), row.ParallelQPS, row.Speedup))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func qps(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// FormatThroughput renders the serial-vs-parallel comparison table.
+func FormatThroughput(rows []ThroughputRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %8s %8s %10s %10s %12s %12s %8s %7s\n",
+		"file", "queries", "workers", "serial", "parallel", "serial q/s", "parall q/s", "speedup", "errors")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-5s %8d %8d %9.3fs %9.3fs %12.0f %12.0f %7.2fx %7d\n",
+			r.Dataset, r.Queries, r.Workers, r.Serial.Seconds(), r.Parallel.Seconds(),
+			r.SerialQPS, r.ParallelQPS, r.Speedup, r.Errors)
+	}
+	return sb.String()
+}

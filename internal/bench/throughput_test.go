@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunThroughput(t *testing.T) {
+	cfg := ThroughputConfig{
+		Seed:        1,
+		TargetNodes: map[string]int{"d2": 2000},
+		Datasets:    []string{"d2"},
+		Workers:     4,
+		Rounds:      2,
+	}
+	rows, err := RunThroughput(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Dataset != "d2" || r.Workers != 4 {
+		t.Errorf("row metadata = %+v", r)
+	}
+	if want := 2 * len(Suite("d2")); r.Queries != want {
+		t.Errorf("batch size = %d, want %d", r.Queries, want)
+	}
+	if r.Errors != 0 {
+		t.Errorf("batch had %d errors", r.Errors)
+	}
+	if r.SerialQPS <= 0 || r.ParallelQPS <= 0 || r.Speedup <= 0 {
+		t.Errorf("throughput not measured: %+v", r)
+	}
+	out := FormatThroughput(rows)
+	for _, frag := range []string{"d2", "speedup", "workers"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatThroughput missing %q:\n%s", frag, out)
+		}
+	}
+}

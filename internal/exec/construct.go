@@ -12,8 +12,10 @@ import (
 // constructors: the outer constructor (if any) becomes the document
 // element, and the FLWOR's return expression is instantiated once per
 // environment row. Queries whose return is a bare path produce no
-// Output document; their results are exposed through Envs.
-func (e *Engine) constructOutput(expr flwor.Expr, f *flwor.FLWOR, res *Result) error {
+// Output document; their results are exposed through Envs. The resolver
+// comes from the evaluation's snapshot so concurrent Adds cannot change
+// which documents return-clause paths see.
+func constructOutput(resolve naveval.Resolver, expr flwor.Expr, f *flwor.FLWOR, res *Result) error {
 	if !hasConstructor(expr) && !hasConstructor(f.Return) {
 		return nil
 	}
@@ -51,7 +53,7 @@ func (e *Engine) constructOutput(expr flwor.Expr, f *flwor.FLWOR, res *Result) e
 			if env == nil {
 				return fmt.Errorf("exec: path %s outside any FLWOR iteration", t.Path)
 			}
-			ns, err := naveval.EvalPathEnv(e.resolve, env, t.Path)
+			ns, err := naveval.EvalPathEnv(resolve, env, t.Path)
 			if err != nil {
 				return err
 			}

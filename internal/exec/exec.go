@@ -14,6 +14,8 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"blossomtree/internal/core"
 	"blossomtree/internal/flwor"
@@ -34,8 +36,24 @@ type Config struct {
 }
 
 // Engine evaluates queries over registered documents.
+//
+// An Engine is safe for concurrent use: registration (Add) installs a
+// fresh immutable snapshot of the document catalog under a writer lock,
+// and every evaluation reads exactly one snapshot for its whole
+// lifetime. Any number of goroutines may therefore call Eval*,
+// Explain, Document and Add concurrently; an evaluation that started
+// before an Add completes sees the catalog as it was when the
+// evaluation began.
 type Engine struct {
-	cfg     Config
+	cfg  Config
+	mu   sync.Mutex // serializes writers (Add); readers use snap
+	snap atomic.Pointer[snapshot]
+}
+
+// snapshot is an immutable view of the registered documents and their
+// derived structures. Snapshots are never mutated after publication;
+// Add copies the maps and swaps the pointer.
+type snapshot struct {
 	docs    map[string]*xmltree.Document
 	stats   map[string]xmltree.Stats
 	indexes map[string]*index.TagIndex
@@ -47,46 +65,92 @@ func New() *Engine { return NewWithConfig(Config{BuildIndexes: true}) }
 
 // NewWithConfig returns an engine with explicit configuration.
 func NewWithConfig(cfg Config) *Engine {
-	return &Engine{
-		cfg:     cfg,
-		docs:    make(map[string]*xmltree.Document),
-		stats:   make(map[string]xmltree.Stats),
-		indexes: make(map[string]*index.TagIndex),
-	}
+	e := &Engine{cfg: cfg}
+	e.snap.Store(&snapshot{
+		docs:    map[string]*xmltree.Document{},
+		stats:   map[string]xmltree.Stats{},
+		indexes: map[string]*index.TagIndex{},
+	})
+	return e
 }
 
+// snapshot returns the current immutable catalog view.
+func (e *Engine) snapshot() *snapshot { return e.snap.Load() }
+
 // Add registers a document under a URI (the name queries use in
-// doc("…")). The first added document also serves absolute paths and
-// unknown URIs, so single-document queries work regardless of the URI
-// they mention.
+// doc("…")). The first added document also serves absolute paths, so
+// single-document queries work regardless of the URI they mention.
+//
+// Add is safe to call while other goroutines evaluate queries: statistics
+// and indexes are computed outside the lock, and the catalog is replaced
+// copy-on-write, so in-flight evaluations keep their snapshot.
 func (e *Engine) Add(uri string, doc *xmltree.Document) {
-	e.docs[uri] = doc
-	e.stats[uri] = xmltree.ComputeStats(doc)
+	st := xmltree.ComputeStats(doc)
+	var ix *index.TagIndex
 	if e.cfg.BuildIndexes {
-		e.indexes[uri] = index.Build(doc)
+		ix = index.Build(doc)
 	}
-	if e.first == "" {
-		e.first = uri
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.snap.Load()
+	next := &snapshot{
+		docs:    make(map[string]*xmltree.Document, len(old.docs)+1),
+		stats:   make(map[string]xmltree.Stats, len(old.stats)+1),
+		indexes: make(map[string]*index.TagIndex, len(old.indexes)+1),
+		first:   old.first,
 	}
+	for k, v := range old.docs {
+		next.docs[k] = v
+	}
+	for k, v := range old.stats {
+		next.stats[k] = v
+	}
+	for k, v := range old.indexes {
+		next.indexes[k] = v
+	}
+	next.docs[uri] = doc
+	next.stats[uri] = st
+	if ix != nil {
+		next.indexes[uri] = ix
+	}
+	if next.first == "" {
+		next.first = uri
+	}
+	e.snap.Store(next)
 }
 
 // Document returns the document registered under uri (with the same
-// first-document fallback queries use) and whether any document could be
+// fallback rules queries use) and whether any document could be
 // resolved.
 func (e *Engine) Document(uri string) (*xmltree.Document, bool) {
-	d, err := e.resolve(uri)
+	d, err := e.snapshot().resolve(uri)
 	return d, err == nil
 }
 
-// resolve maps a URI to a document, defaulting to the first document.
+// resolve maps a URI to a document against the current snapshot. It is
+// the engine-level entry point; evaluations resolve against the
+// snapshot they captured instead.
 func (e *Engine) resolve(uri string) (*xmltree.Document, error) {
-	if d, ok := e.docs[uri]; ok {
+	return e.snapshot().resolve(uri)
+}
+
+// resolve maps a URI to a document. The empty URI (absolute paths)
+// resolves to the first registered document, and an engine holding a
+// single document serves it for any URI — but once several documents
+// are registered, an unknown doc("…") URI is an error rather than a
+// silent alias for the first document.
+func (s *snapshot) resolve(uri string) (*xmltree.Document, error) {
+	if d, ok := s.docs[uri]; ok {
 		return d, nil
 	}
-	if e.first != "" {
-		return e.docs[e.first], nil
+	if s.first == "" {
+		return nil, fmt.Errorf("exec: no document registered for %q", uri)
 	}
-	return nil, fmt.Errorf("exec: no document registered for %q", uri)
+	if uri == "" || len(s.docs) == 1 {
+		return s.docs[s.first], nil
+	}
+	return nil, fmt.Errorf("exec: no document registered for %q (%d documents loaded; doc(\"…\") must name one of them)", uri, len(s.docs))
 }
 
 // Result is the outcome of a query evaluation.
@@ -126,14 +190,20 @@ func (e *Engine) EvalOptions(src string, opts plan.Options) (*Result, error) {
 
 // EvalExpr evaluates a parsed query.
 func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
+	return evalExpr(e.snapshot(), expr, opts)
+}
+
+// evalExpr evaluates a parsed query against one immutable snapshot, so
+// a concurrent Add cannot change the catalog mid-evaluation.
+func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (*Result, error) {
 	if opts.Strategy == plan.Navigational {
-		return e.evalNavigational(expr)
+		return evalNavigational(s, expr)
 	}
 	q, isPath, err := compile(expr)
 	if err != nil {
 		return nil, err
 	}
-	doc, ix, stats, err := e.planContext(q)
+	doc, ix, stats, err := s.planContext(q)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +226,7 @@ func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
 		res.Nodes = projectPathResult(q, instances)
 		return res, nil
 	}
-	if err := e.finishFLWOR(expr, q, res); err != nil {
+	if err := finishFLWOR(s, expr, q, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -172,7 +242,7 @@ func (e *Engine) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	doc, ix, stats, err := e.planContext(q)
+	doc, ix, stats, err := e.snapshot().planContext(q)
 	if err != nil {
 		return "", err
 	}
@@ -200,11 +270,11 @@ func compile(expr flwor.Expr) (*core.Query, bool, error) {
 // planContext picks the document all the query's pattern trees anchor at
 // (the engine evaluates single-document queries; the paper's fragment
 // likewise correlates paths over one input document).
-func (e *Engine) planContext(q *core.Query) (*xmltree.Document, *index.TagIndex, xmltree.Stats, error) {
+func (s *snapshot) planContext(q *core.Query) (*xmltree.Document, *index.TagIndex, xmltree.Stats, error) {
 	var doc *xmltree.Document
 	var uri string
 	for u := range q.Tree.Docs {
-		d, err := e.resolve(u)
+		d, err := s.resolve(u)
 		if err != nil {
 			return nil, nil, xmltree.Stats{}, err
 		}
@@ -216,16 +286,16 @@ func (e *Engine) planContext(q *core.Query) (*xmltree.Document, *index.TagIndex,
 	if doc == nil {
 		return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: query references no document")
 	}
-	ix := e.indexes[uri]
+	ix := s.indexes[uri]
 	if ix == nil {
-		ix = e.indexes[e.first]
+		ix = s.indexes[s.first]
 	}
 	if ix != nil && ix.Document() != doc {
 		ix = nil
 	}
-	st := e.stats[uri]
+	st := s.stats[uri]
 	if st.Nodes == 0 {
-		st = e.stats[e.first]
+		st = s.stats[s.first]
 	}
 	return doc, ix, st, nil
 }
@@ -254,7 +324,7 @@ func projectPathResult(q *core.Query, ls []*nestedlist.List) []*xmltree.Node {
 // finishFLWOR turns instances into environment rows, applies residual
 // conditions, restores iteration order, applies order by, and constructs
 // the output document.
-func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error {
+func finishFLWOR(s *snapshot, expr flwor.Expr, q *core.Query, res *Result) error {
 	f, err := topFLWOR(expr)
 	if err != nil {
 		return err
@@ -278,7 +348,7 @@ func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error 
 		for _, env := range envs {
 			ok := true
 			for _, c := range q.Residual {
-				v, err := naveval.EvalCond(e.resolve, env, c)
+				v, err := naveval.EvalCond(s.resolve, env, c)
 				if err != nil {
 					return err
 				}
@@ -303,29 +373,7 @@ func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error 
 		}
 	}
 
-	// One row per for-variable combination: operators that enumerate
-	// existential witnesses (TwigStack matches, per-pair joins over
-	// predicate subtrees) may emit the same iteration several times.
-	seen := make(map[string]bool, len(envs))
-	dedup := envs[:0]
-	for _, env := range envs {
-		key := make([]byte, 0, 8*len(forVars))
-		for _, v := range forVars {
-			for _, n := range env[v] {
-				s := n.Start
-				for i := 0; i < 8; i++ {
-					key = append(key, byte(s>>(i*8)))
-				}
-			}
-			key = append(key, '|')
-		}
-		if seen[string(key)] {
-			continue
-		}
-		seen[string(key)] = true
-		dedup = append(dedup, env)
-	}
-	envs = dedup
+	envs = dedupEnvs(envs, forVars)
 	sort.SliceStable(envs, func(i, j int) bool {
 		for _, v := range forVars {
 			a, b := envs[i][v], envs[j][v]
@@ -342,7 +390,7 @@ func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error 
 	if f.OrderBy != nil {
 		keys := make([]string, len(envs))
 		for i, env := range envs {
-			ns, err := naveval.EvalPathEnv(e.resolve, env, f.OrderBy)
+			ns, err := naveval.EvalPathEnv(s.resolve, env, f.OrderBy)
 			if err != nil {
 				return err
 			}
@@ -354,7 +402,7 @@ func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error 
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		sort.SliceStable(idx, func(a, b int) bool { return naveval.OrderKeyLess(keys[idx[a]], keys[idx[b]]) })
 		sorted := make([]naveval.Env, len(envs))
 		for i, j := range idx {
 			sorted[i] = envs[j]
@@ -362,19 +410,57 @@ func (e *Engine) finishFLWOR(expr flwor.Expr, q *core.Query, res *Result) error 
 		envs = sorted
 	}
 	res.Envs = envs
-	return e.constructOutput(expr, f, res)
+	return constructOutput(s.resolve, expr, f, res)
+}
+
+// dedupEnvs keeps one row per for-variable combination: operators that
+// enumerate existential witnesses (TwigStack matches, per-pair joins
+// over predicate subtrees) may emit the same iteration several times.
+// Keys are built from node identity rather than region labels, so
+// bindings from different documents that happen to share Start offsets
+// never collide.
+func dedupEnvs(envs []naveval.Env, forVars []string) []naveval.Env {
+	ids := make(map[*xmltree.Node]int)
+	nodeID := func(n *xmltree.Node) int {
+		id, ok := ids[n]
+		if !ok {
+			id = len(ids)
+			ids[n] = id
+		}
+		return id
+	}
+	seen := make(map[string]bool, len(envs))
+	dedup := envs[:0]
+	for _, env := range envs {
+		key := make([]byte, 0, 8*len(forVars))
+		for _, v := range forVars {
+			for _, n := range env[v] {
+				id := nodeID(n)
+				for i := 0; i < 8; i++ {
+					key = append(key, byte(id>>(i*8)))
+				}
+			}
+			key = append(key, '|')
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		dedup = append(dedup, env)
+	}
+	return dedup
 }
 
 // evalNavigational runs the whole query through the navigational
 // evaluator (the XH stand-in).
-func (e *Engine) evalNavigational(expr flwor.Expr) (*Result, error) {
+func evalNavigational(s *snapshot, expr flwor.Expr) (*Result, error) {
 	if pe, ok := expr.(*flwor.PathExpr); ok {
 		// Resolve against the path's own document.
 		uri := ""
 		if pe.Path.Source.Kind == xpath.SourceDoc {
 			uri = pe.Path.Source.Doc
 		}
-		doc, err := e.resolve(uri)
+		doc, err := s.resolve(uri)
 		if err != nil {
 			return nil, err
 		}
@@ -388,12 +474,12 @@ func (e *Engine) evalNavigational(expr flwor.Expr) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	envs, err := naveval.EvalFLWOR(e.resolve, f)
+	envs, err := naveval.EvalFLWOR(s.resolve, f)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Envs: envs}
-	return res, e.constructOutput(expr, f, res)
+	return res, constructOutput(s.resolve, expr, f, res)
 }
 
 // topFLWOR unwraps constructors down to the single FLWOR body.

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"blossomtree/internal/flwor"
+	"blossomtree/internal/index"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmltree"
+)
+
+// BatchResult pairs one query of a batch with its outcome.
+type BatchResult struct {
+	Query  string
+	Result *Result
+	Err    error
+}
+
+// EvalBatch evaluates a batch of queries concurrently across a worker
+// pool of at most workers goroutines (workers <= 0 means GOMAXPROCS)
+// and returns one result per query, in input order. All evaluations of
+// one call share the engine snapshot current when EvalBatch was called,
+// so the batch sees a consistent document catalog even while other
+// goroutines Add documents.
+func (e *Engine) EvalBatch(srcs []string, opts plan.Options, workers int) []BatchResult {
+	out := make([]BatchResult, len(srcs))
+	if len(srcs) == 0 {
+		return out
+	}
+	snap := e.snapshot()
+	run := func(i int) {
+		res, err := evalSource(snap, srcs[i], opts)
+		out[i] = BatchResult{Query: srcs[i], Result: res, Err: err}
+	}
+	forEachIndex(len(srcs), workers, run)
+	return out
+}
+
+// DocResult pairs one registered document of an EvalAllDocs call with
+// the query's outcome on it.
+type DocResult struct {
+	URI    string
+	Result *Result
+	Err    error
+}
+
+// EvalAllDocs evaluates one query independently against every
+// registered document, fanning the per-document evaluations out across
+// at most workers goroutines (workers <= 0 means GOMAXPROCS). Inside
+// each evaluation every doc("…") URI and absolute path resolves to the
+// document under evaluation, which turns a single-document query into a
+// catalog-wide scan — the multi-document shape planContext otherwise
+// rejects. Results are keyed by URI and returned sorted by URI.
+func (e *Engine) EvalAllDocs(src string, opts plan.Options, workers int) ([]DocResult, error) {
+	expr, err := flwor.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	snap := e.snapshot()
+	uris := make([]string, 0, len(snap.docs))
+	for u := range snap.docs {
+		uris = append(uris, u)
+	}
+	sort.Strings(uris)
+	out := make([]DocResult, len(uris))
+	run := func(i int) {
+		res, evalErr := evalExpr(snap.pin(uris[i]), expr, opts)
+		out[i] = DocResult{URI: uris[i], Result: res, Err: evalErr}
+	}
+	forEachIndex(len(uris), workers, run)
+	return out, nil
+}
+
+// evalSource parses and evaluates one query against a fixed snapshot.
+func evalSource(s *snapshot, src string, opts plan.Options) (*Result, error) {
+	expr, err := flwor.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return evalExpr(s, expr, opts)
+}
+
+// pin derives a single-document snapshot: every URI resolves to the
+// pinned document (the single-document fallback of resolve), carrying
+// over its statistics and index.
+func (s *snapshot) pin(uri string) *snapshot {
+	p := &snapshot{
+		docs:    map[string]*xmltree.Document{uri: s.docs[uri]},
+		stats:   map[string]xmltree.Stats{uri: s.stats[uri]},
+		indexes: map[string]*index.TagIndex{},
+		first:   uri,
+	}
+	if ix, ok := s.indexes[uri]; ok {
+		p.indexes[uri] = ix
+	}
+	return p
+}
+
+// forEachIndex runs fn(0..n-1) across a pool of at most workers
+// goroutines and waits for completion. fn must write only to its own
+// index's slot.
+func forEachIndex(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+package join
+
+import (
+	"testing"
+
+	"blossomtree/internal/nestedlist"
+)
+
+func TestDrainAll(t *testing.T) {
+	mk := func(n int) []*nestedlist.List {
+		out := make([]*nestedlist.List, n)
+		for i := range out {
+			out[i] = &nestedlist.List{}
+		}
+		return out
+	}
+	inputs := [][]*nestedlist.List{mk(3), nil, mk(1), mk(7), mk(0), mk(2)}
+	for _, workers := range []int{-1, 1, 2, 16} {
+		ops := make([]Operator, len(inputs))
+		for i, ls := range inputs {
+			ops[i] = NewSliceOperator(ls)
+		}
+		got := DrainAll(ops, workers)
+		if len(got) != len(inputs) {
+			t.Fatalf("workers=%d: %d outputs, want %d", workers, len(got), len(inputs))
+		}
+		for i, ls := range inputs {
+			if len(got[i]) != len(ls) {
+				t.Errorf("workers=%d: op %d drained %d instances, want %d", workers, i, len(got[i]), len(ls))
+				continue
+			}
+			for j := range ls {
+				if got[i][j] != ls[j] {
+					t.Errorf("workers=%d: op %d instance %d out of order", workers, i, j)
+				}
+			}
+		}
+	}
+	if got := DrainAll(nil, 4); len(got) != 0 {
+		t.Errorf("empty input returned %d outputs", len(got))
+	}
+}

@@ -18,11 +18,26 @@ package naveval
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"blossomtree/internal/flwor"
 	"blossomtree/internal/xmltree"
 	"blossomtree/internal/xpath"
 )
+
+// OrderKeyLess compares order-by keys numerically when both parse as
+// numbers ("9" before "10") and lexicographically otherwise, matching
+// XQuery's type-aware ordering for the untyped-atomic values this
+// fragment produces. Both the navigational evaluator and the planned
+// executor order by it, so the two paths agree on result order.
+func OrderKeyLess(a, b string) bool {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		return fa < fb
+	}
+	return a < b
+}
 
 // Resolver maps document URIs to documents. The empty URI resolves
 // absolute paths ("/a/b") when a query mixes both forms.
@@ -423,7 +438,7 @@ func EvalFLWOR(resolve Resolver, f *flwor.FLWOR) ([]Env, error) {
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		sort.SliceStable(idx, func(a, b int) bool { return OrderKeyLess(keys[idx[a]], keys[idx[b]]) })
 		sorted := make([]Env, len(envs))
 		for i, j := range idx {
 			sorted[i] = envs[j]

@@ -33,8 +33,10 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 	}
 
 	// Merged-NoK optimization (§4.2): evaluate every sequentially-scanned
-	// NoK in one shared document traversal instead of one scan each.
-	if p.opts.MergeScans && p.opts.Index == nil && p.Strategy != BoundedNL {
+	// NoK in one shared document traversal instead of one scan each. A
+	// parallel pre-scan (preScanParallel) has already materialized these
+	// lists when preScanned is non-nil.
+	if p.opts.MergeScans && p.preScanned == nil && p.opts.Index == nil && p.Strategy != BoundedNL {
 		var ms []*nok.Matcher
 		for _, n := range d.NoKs {
 			if !trivialNoK(n) {

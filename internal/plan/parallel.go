@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"blossomtree/internal/core"
+	"blossomtree/internal/join"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/nok"
+)
+
+// preScanParallel materializes every NoK base scan the operator tree
+// will pull, draining them concurrently across at most workers
+// goroutines (workers < 0 means GOMAXPROCS). Base scans over distinct
+// NoKs are independent subproblems — each owns its matcher and iterator
+// and only reads the immutable document and tag index — so they are the
+// natural intra-query fan-out points. The joins above them stay serial:
+// they are pipelined and cheap relative to the scans they consume.
+//
+// baseScan consults preScanned first, so the subsequent operator build
+// replays the materialized lists instead of re-scanning.
+func (p *Plan) preScanParallel(workers int) error {
+	if p.Strategy == Twig || p.Strategy == Navigational {
+		return nil
+	}
+	targets := p.scanTargets()
+	if len(targets) == 0 {
+		return nil
+	}
+	// Operator construction stays serial: baseScan appends Explain
+	// notes, which must not race.
+	ops := make([]join.Operator, len(targets))
+	for i, n := range targets {
+		m, err := nok.NewMatcher(n, p.Query.Return)
+		if err != nil {
+			return err
+		}
+		ops[i] = p.baseScan(m)
+	}
+	results := join.DrainAll(ops, workers)
+	p.preScanned = make(map[*core.NoK][]*nestedlist.List, len(targets))
+	for i, n := range targets {
+		p.preScanned[n] = results[i]
+	}
+	p.note("pre-scanned %d NoKs in parallel (%d workers requested)", len(targets), workers)
+	return nil
+}
+
+// scanTargets lists the NoKs whose base scans the operator tree will
+// drain in full. Children of cut //-edges are excluded under BoundedNL,
+// whose inner scans are region-bounded per outer match rather than full
+// document scans (pre-scanning them would waste the bound).
+func (p *Plan) scanTargets() []*core.NoK {
+	innerViaBaseScan := p.Strategy == Pipelined || p.Strategy == NaiveNL
+	nonScanChild := make(map[*core.NoK]bool)
+	for _, l := range p.Decomp.Links {
+		if !l.IsScan() {
+			nonScanChild[l.Child] = true
+		}
+	}
+	var out []*core.NoK
+	for _, n := range p.Decomp.NoKs {
+		if trivialNoK(n) {
+			continue
+		}
+		if nonScanChild[n] && !innerViaBaseScan {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -76,6 +76,12 @@ type Options struct {
 	// scanning per NoK (the merged-NoK optimization). Only meaningful
 	// without Index.
 	MergeScans bool
+	// Parallel fans the plan's independent NoK base scans out across at
+	// most Parallel worker goroutines before the operator tree runs
+	// (0 or 1 = serial; negative = GOMAXPROCS). Sound because documents
+	// and indexes are immutable during evaluation; it takes precedence
+	// over MergeScans, which shares a single serial traversal instead.
+	Parallel int
 	// Stop, when non-nil, is polled by the plan's operators; returning
 	// true ends execution early (the DNF timeout of the experiments).
 	Stop func() bool
@@ -184,6 +190,11 @@ func (p *Plan) Explain() string {
 
 // Execute runs the plan and materializes the resulting instances.
 func (p *Plan) Execute() ([]*nestedlist.List, error) {
+	if p.opts.Parallel != 0 && p.opts.Parallel != 1 {
+		if err := p.preScanParallel(p.opts.Parallel); err != nil {
+			return nil, err
+		}
+	}
 	op, err := p.Operator()
 	if err != nil {
 		return nil, err
