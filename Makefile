@@ -5,10 +5,12 @@
 #   make check   — tier-2 verify: go vet + race-detector test run
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
+#   make fuzz    — parser fuzz smoke (FUZZTIME per target, default 30s)
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test vet race check bench qps
+.PHONY: build test vet race check bench qps fuzz
 
 build:
 	$(GO) build ./...
@@ -32,3 +34,10 @@ bench:
 
 qps:
 	$(GO) run ./cmd/blossombench -qps -workers 4
+
+# Parser fuzzing: no panics, and every accepted input round-trips
+# through the printer. Seed corpora live under each package's
+# testdata/fuzz directory.
+fuzz:
+	$(GO) test ./internal/xpath -run '^$$' -fuzz FuzzXPathParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/flwor -run '^$$' -fuzz FuzzFLWORParse -fuzztime $(FUZZTIME)

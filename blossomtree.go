@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"blossomtree/internal/exec"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
 	"blossomtree/internal/storage"
 	"blossomtree/internal/xmltree"
@@ -94,6 +95,24 @@ type Options struct {
 	// most Parallel worker goroutines (0 or 1 = serial; negative =
 	// GOMAXPROCS). Takes precedence over MergeScans.
 	Parallel int
+	// Analyze enables per-operator wall-clock timing, making
+	// Result.ExplainAnalyze include actual-time columns. Counters
+	// (nodes scanned, instances emitted, comparisons) are collected
+	// regardless.
+	Analyze bool
+}
+
+func (o Options) toPlan() (plan.Options, error) {
+	strat, err := o.Strategy.toPlan()
+	if err != nil {
+		return plan.Options{}, err
+	}
+	return plan.Options{
+		Strategy:   strat,
+		MergeScans: o.MergeScans,
+		Parallel:   o.Parallel,
+		Analyze:    o.Analyze,
+	}, nil
 }
 
 // Engine evaluates queries over loaded documents. An Engine is safe for
@@ -227,15 +246,11 @@ func (e *Engine) Query(src string) (*Result, error) {
 
 // QueryWith evaluates a query with explicit options.
 func (e *Engine) QueryWith(src string, opts Options) (*Result, error) {
-	strat, err := opts.Strategy.toPlan()
+	popts, err := opts.toPlan()
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.inner.EvalOptions(src, plan.Options{
-		Strategy:   strat,
-		MergeScans: opts.MergeScans,
-		Parallel:   opts.Parallel,
-	})
+	res, err := e.inner.EvalOptions(src, popts)
 	if err != nil {
 		return nil, err
 	}
@@ -254,15 +269,11 @@ type BatchResult struct {
 // result per query in input order. The whole batch sees the document
 // catalog as of the call, even while other goroutines load documents.
 func (e *Engine) QueryBatch(srcs []string, opts Options, workers int) ([]BatchResult, error) {
-	strat, err := opts.Strategy.toPlan()
+	popts, err := opts.toPlan()
 	if err != nil {
 		return nil, err
 	}
-	raw := e.inner.EvalBatch(srcs, plan.Options{
-		Strategy:   strat,
-		MergeScans: opts.MergeScans,
-		Parallel:   opts.Parallel,
-	}, workers)
+	raw := e.inner.EvalBatch(srcs, popts, workers)
 	out := make([]BatchResult, len(raw))
 	for i, r := range raw {
 		out[i] = BatchResult{Query: r.Query, Err: r.Err}
@@ -288,15 +299,11 @@ type DocumentResult struct {
 // queries the single-document planner rejects. Results are sorted by
 // URI.
 func (e *Engine) QueryAllDocuments(src string, opts Options, workers int) ([]DocumentResult, error) {
-	strat, err := opts.Strategy.toPlan()
+	popts, err := opts.toPlan()
 	if err != nil {
 		return nil, err
 	}
-	raw, err := e.inner.EvalAllDocs(src, plan.Options{
-		Strategy:   strat,
-		MergeScans: opts.MergeScans,
-		Parallel:   opts.Parallel,
-	}, workers)
+	raw, err := e.inner.EvalAllDocs(src, popts, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +319,48 @@ func (e *Engine) QueryAllDocuments(src string, opts Options, workers int) ([]Doc
 
 // Explain compiles a query and renders the physical plan the optimizer
 // chose: the NoK decomposition, access methods, join operators and
-// crossing-edge placement.
+// crossing-edge placement, the cost model's strategy table, and the
+// annotated operator tree with per-operator cost estimates.
 func (e *Engine) Explain(src string) (string, error) {
 	return e.inner.Explain(src)
+}
+
+// ExplainWith is Explain with explicit options (forced strategy,
+// parallelism).
+func (e *Engine) ExplainWith(src string, opts Options) (string, error) {
+	popts, err := opts.toPlan()
+	if err != nil {
+		return "", err
+	}
+	return e.inner.ExplainOptions(src, popts)
+}
+
+// ExplainAnalyze compiles and executes the query with per-operator
+// timing enabled, then renders the operator tree with the cost model's
+// estimates side by side with the counters and wall times the run
+// actually recorded — the EXPLAIN ANALYZE of relational engines.
+func (e *Engine) ExplainAnalyze(src string) (string, error) {
+	return e.inner.ExplainAnalyze(src)
+}
+
+// ExplainAnalyzeWith is ExplainAnalyze with explicit options.
+func (e *Engine) ExplainAnalyzeWith(src string, opts Options) (string, error) {
+	popts, err := opts.toPlan()
+	if err != nil {
+		return "", err
+	}
+	return e.inner.ExplainAnalyzeOptions(src, popts)
+}
+
+// Metrics returns a snapshot of the process-wide metrics registry:
+// monotonic counters (queries evaluated, errors, nodes scanned by the
+// physical operators, instances emitted, …) aggregated across every
+// engine in the process. Safe to call concurrently with evaluations.
+func Metrics() map[string]int64 {
+	return obs.Default.Snapshot()
+}
+
+// FormatMetrics renders a metrics snapshot as sorted "name value" lines.
+func FormatMetrics(m map[string]int64) string {
+	return obs.Format(m)
 }

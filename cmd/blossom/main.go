@@ -27,7 +27,9 @@ func main() {
 	var (
 		file     = flag.String("file", "", "XML document to query (required)")
 		strategy = flag.String("strategy", "auto", "join strategy: auto, pipelined, bounded-nl, twigstack, navigational")
-		explain  = flag.Bool("explain", false, "print the physical plan instead of executing")
+		explain  = flag.Bool("explain", false, "execute the query and print the annotated plan tree (cost estimates next to actual counters and timings)")
+		explOnly = flag.Bool("explain-only", false, "print the plan with estimates only, without executing")
+		metrics  = flag.Bool("metrics", false, "print the engine metrics registry after the run")
 		noIndex  = flag.Bool("no-indexes", false, "disable tag indexes (streaming configuration)")
 		parallel = flag.Int("parallel", 0, "fan independent NoK scans out across N workers (-1 = all cores)")
 		indent   = flag.Bool("indent", false, "pretty-print XML output")
@@ -52,22 +54,34 @@ func main() {
 		fatal(err)
 	}
 
-	if *explain {
-		s, err := eng.Explain(query)
+	opts := blossomtree.Options{
+		Strategy: blossomtree.Strategy(*strategy),
+		Parallel: *parallel,
+	}
+
+	if *explOnly {
+		s, err := eng.ExplainWith(query, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(s)
 		return
 	}
+	if *explain {
+		s, err := eng.ExplainAnalyzeWith(query, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		printMetrics(*metrics)
+		return
+	}
 
-	res, err := eng.QueryWith(query, blossomtree.Options{
-		Strategy: blossomtree.Strategy(*strategy),
-		Parallel: *parallel,
-	})
+	res, err := eng.QueryWith(query, opts)
 	if err != nil {
 		fatal(err)
 	}
+	defer printMetrics(*metrics)
 	if *quiet {
 		fmt.Println(res.Len())
 		return
@@ -101,6 +115,13 @@ func main() {
 			fmt.Printf("row %d: %s\n", i+1, strings.Join(parts, " "))
 		}
 	}
+}
+
+func printMetrics(enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Print("-- metrics --\n" + blossomtree.FormatMetrics(blossomtree.Metrics()))
 }
 
 func fatal(err error) {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"blossomtree"
 	"blossomtree/internal/bench"
 	"blossomtree/internal/xmlgen"
 )
@@ -39,8 +40,14 @@ func main() {
 		qps      = flag.Bool("qps", false, "measure serial vs parallel batch throughput instead of a table")
 		workers  = flag.Int("workers", 0, "parallel worker count for -qps (0 = all cores)")
 		rounds   = flag.Int("rounds", 20, "suite repetitions per -qps batch")
+		metrics  = flag.Bool("metrics", false, "print the engine metrics registry after the run")
 	)
 	flag.Parse()
+	defer func() {
+		if *metrics {
+			fmt.Print("-- metrics --\n" + blossomtree.FormatMetrics(blossomtree.Metrics()))
+		}
+	}()
 
 	targets := map[string]int{}
 	for _, in := range xmlgen.Catalog {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blossomtree/internal/exec"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
 )
 
@@ -33,6 +34,11 @@ type ThroughputRow struct {
 	ParallelQPS float64
 	Speedup     float64
 	Errors      int
+	// ScannedPerQuery and EmittedPerQuery are the average operator-level
+	// nodes-scanned and instances-emitted per query of the serial run,
+	// read from the metrics registry delta around the batch.
+	ScannedPerQuery float64
+	EmittedPerQuery float64
 }
 
 // RunThroughput measures batch throughput per dataset. Each dataset's
@@ -84,9 +90,14 @@ func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow
 
 		row := ThroughputRow{Dataset: id, Queries: len(batch), Workers: workers}
 
+		before := obs.Default.Snapshot()
 		start := time.Now()
 		serial := eng.EvalBatch(batch, opts, 1)
 		row.Serial = time.Since(start)
+		if d := obs.Default.Delta(before); len(batch) > 0 {
+			row.ScannedPerQuery = float64(d[obs.MetricNodesScanned]) / float64(len(batch))
+			row.EmittedPerQuery = float64(d[obs.MetricInstancesOut]) / float64(len(batch))
+		}
 
 		start = time.Now()
 		par := eng.EvalBatch(batch, opts, workers)
@@ -103,9 +114,9 @@ func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow
 			row.Speedup = row.Serial.Seconds() / row.Parallel.Seconds()
 		}
 		if progress != nil {
-			progress(fmt.Sprintf("  %s: serial %.3fs (%.0f q/s), parallel[%d] %.3fs (%.0f q/s), speedup %.2f×",
+			progress(fmt.Sprintf("  %s: serial %.3fs (%.0f q/s), parallel[%d] %.3fs (%.0f q/s), speedup %.2f×, %.0f nodes scanned/query",
 				id, row.Serial.Seconds(), row.SerialQPS, workers,
-				row.Parallel.Seconds(), row.ParallelQPS, row.Speedup))
+				row.Parallel.Seconds(), row.ParallelQPS, row.Speedup, row.ScannedPerQuery))
 		}
 		rows = append(rows, row)
 	}
@@ -122,12 +133,12 @@ func qps(n int, d time.Duration) float64 {
 // FormatThroughput renders the serial-vs-parallel comparison table.
 func FormatThroughput(rows []ThroughputRow) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-5s %8s %8s %10s %10s %12s %12s %8s %7s\n",
-		"file", "queries", "workers", "serial", "parallel", "serial q/s", "parall q/s", "speedup", "errors")
+	fmt.Fprintf(&sb, "%-5s %8s %8s %10s %10s %12s %12s %8s %7s %10s %8s\n",
+		"file", "queries", "workers", "serial", "parallel", "serial q/s", "parall q/s", "speedup", "errors", "scanned/q", "out/q")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-5s %8d %8d %9.3fs %9.3fs %12.0f %12.0f %7.2fx %7d\n",
+		fmt.Fprintf(&sb, "%-5s %8d %8d %9.3fs %9.3fs %12.0f %12.0f %7.2fx %7d %10.0f %8.1f\n",
 			r.Dataset, r.Queries, r.Workers, r.Serial.Seconds(), r.Parallel.Seconds(),
-			r.SerialQPS, r.ParallelQPS, r.Speedup, r.Errors)
+			r.SerialQPS, r.ParallelQPS, r.Speedup, r.Errors, r.ScannedPerQuery, r.EmittedPerQuery)
 	}
 	return sb.String()
 }

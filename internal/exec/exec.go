@@ -16,12 +16,14 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blossomtree/internal/core"
 	"blossomtree/internal/flwor"
 	"blossomtree/internal/index"
 	"blossomtree/internal/naveval"
 	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
 	"blossomtree/internal/xmltree"
 	"blossomtree/internal/xpath"
@@ -85,6 +87,7 @@ func (e *Engine) snapshot() *snapshot { return e.snap.Load() }
 // and indexes are computed outside the lock, and the catalog is replaced
 // copy-on-write, so in-flight evaluations keep their snapshot.
 func (e *Engine) Add(uri string, doc *xmltree.Document) {
+	obs.Default.Add(obs.MetricDocumentsAdded, 1)
 	st := xmltree.ComputeStats(doc)
 	var ix *index.TagIndex
 	if e.cfg.BuildIndexes {
@@ -194,8 +197,20 @@ func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
 }
 
 // evalExpr evaluates a parsed query against one immutable snapshot, so
-// a concurrent Add cannot change the catalog mid-evaluation.
-func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (*Result, error) {
+// a concurrent Add cannot change the catalog mid-evaluation. Engine-wide
+// metrics in obs.Default are updated once per evaluation (counter adds
+// are atomic, so concurrent evaluations aggregate safely).
+func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err error) {
+	t0 := time.Now()
+	defer func() {
+		obs.Default.Add(obs.MetricQueries, 1)
+		obs.Default.Add(obs.MetricQueryNanos, time.Since(t0).Nanoseconds())
+		if err != nil {
+			obs.Default.Add(obs.MetricQueryErrors, 1)
+		} else if res != nil && res.Plan != nil {
+			recordPlanMetrics(res.Plan)
+		}
+	}()
 	if opts.Strategy == plan.Navigational {
 		return evalNavigational(s, expr)
 	}
@@ -221,7 +236,7 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Query: q, Plan: pl, Instances: instances}
+	res = &Result{Query: q, Plan: pl, Instances: instances}
 	if isPath {
 		res.Nodes = projectPathResult(q, instances)
 		return res, nil
@@ -232,29 +247,89 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (*Result, error) 
 	return res, nil
 }
 
-// Explain compiles the query and renders its physical plan.
+// Explain compiles the query and renders its physical plan: the
+// decomposition, the cost model's strategy table, and the annotated
+// operator tree with per-operator estimates.
 func (e *Engine) Explain(src string) (string, error) {
-	expr, err := flwor.Parse(src)
+	return e.ExplainOptions(src, plan.Options{})
+}
+
+// ExplainOptions is Explain with planner control (forced strategy,
+// parallelism, …).
+func (e *Engine) ExplainOptions(src string, opts plan.Options) (string, error) {
+	pl, err := e.buildPlan(src, opts)
 	if err != nil {
 		return "", err
 	}
-	q, _, err := compile(expr)
-	if err != nil {
-		return "", err
-	}
-	doc, ix, stats, err := e.snapshot().planContext(q)
-	if err != nil {
-		return "", err
-	}
-	pl, err := plan.Build(q, doc, plan.Options{Index: ix, Stats: stats})
-	if err != nil {
-		return "", err
-	}
-	// Building the operator tree records the access-method notes.
+	// Building the operator tree records the access-method notes and
+	// creates the stats tree the estimate columns render from.
 	if _, err := pl.Operator(); err != nil {
 		return "", err
 	}
-	return pl.Explain(), nil
+	return pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(false), nil
+}
+
+// ExplainAnalyze compiles the query, executes it with per-operator
+// timing enabled, and renders the operator tree with the cost model's
+// estimates side by side with the counters the run actually recorded.
+func (e *Engine) ExplainAnalyze(src string) (string, error) {
+	return e.ExplainAnalyzeOptions(src, plan.Options{})
+}
+
+// ExplainAnalyzeOptions is ExplainAnalyze with planner control.
+func (e *Engine) ExplainAnalyzeOptions(src string, opts plan.Options) (string, error) {
+	opts.Analyze = true
+	pl, err := e.buildPlan(src, opts)
+	if err != nil {
+		return "", err
+	}
+	t0 := time.Now()
+	if _, err := pl.Execute(); err != nil {
+		obs.Default.Add(obs.MetricQueries, 1)
+		obs.Default.Add(obs.MetricQueryErrors, 1)
+		return "", err
+	}
+	obs.Default.Add(obs.MetricQueries, 1)
+	obs.Default.Add(obs.MetricQueryNanos, time.Since(t0).Nanoseconds())
+	recordPlanMetrics(pl)
+	return pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(true), nil
+}
+
+// recordPlanMetrics folds an executed plan's stats tree into the
+// process-wide registry.
+func recordPlanMetrics(pl *plan.Plan) {
+	st := pl.StatsTree()
+	if st == nil {
+		return
+	}
+	obs.Default.Add(obs.MetricNodesScanned, st.TotalScanned())
+	obs.Default.Add(obs.MetricInstancesOut, st.TotalEmitted())
+	obs.Default.Add(obs.MetricComparisons, st.TotalComparisons())
+	obs.Default.Add(obs.MetricOperatorCalls, st.TotalCalls())
+}
+
+// buildPlan compiles src against the current snapshot without running
+// it, filling the snapshot's index and statistics into opts.
+func (e *Engine) buildPlan(src string, opts plan.Options) (*plan.Plan, error) {
+	expr, err := flwor.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, _, err := compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	doc, ix, stats, err := e.snapshot().planContext(q)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Index == nil {
+		opts.Index = ix
+	}
+	if opts.Stats.Nodes == 0 {
+		opts.Stats = stats
+	}
+	return plan.Build(q, doc, opts)
 }
 
 // compile builds the BlossomTree query from a parsed expression.

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"testing"
+
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmltree"
+)
+
+// subtreeNodes collects every node under (and including) n.
+func subtreeNodes(n *xmltree.Node, into map[*xmltree.Node]bool) {
+	into[n] = true
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		subtreeNodes(c, into)
+	}
+}
+
+// TestMultiDocumentIdentity registers two documents parsed from the
+// same XML — so every region label coincides — and checks the engine
+// keeps the documents' nodes apart by identity rather than by label.
+// The planned path is single-document by design, so the cross-document
+// join runs navigationally; the per-document planned queries must still
+// bind nodes of exactly the document their doc() clause names.
+func TestMultiDocumentIdentity(t *testing.T) {
+	docA, err := xmltree.ParseString(bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docB, err := xmltree.ParseString(bibXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := map[*xmltree.Node]bool{}
+	subtreeNodes(docA.Root, inA)
+	inB := map[*xmltree.Node]bool{}
+	subtreeNodes(docB.Root, inB)
+
+	e := New()
+	e.Add("a", docA)
+	e.Add("b", docB)
+
+	// Cross-document join (navigational: the planned path rejects queries
+	// spanning documents). Four books per document with distinct titles:
+	// exactly four rows, each pairing a book with its same-labelled twin.
+	const q = `for $x in doc("a")//book, $y in doc("b")//book where $x/title = $y/title return $x`
+	res, err := e.EvalOptions(q, plan.Options{Strategy: plan.Navigational})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Envs) != 4 {
+		t.Fatalf("cross-document join produced %d rows, want 4 (one per title pair)", len(res.Envs))
+	}
+	for i, env := range res.Envs {
+		if len(env["x"]) != 1 || len(env["y"]) != 1 {
+			t.Fatalf("row %d: unexpected binding arity", i)
+		}
+		x, y := env["x"][0], env["y"][0]
+		if !inA[x] || inB[x] {
+			t.Errorf("row %d: $x is not a node of document a", i)
+		}
+		if !inB[y] || inA[y] {
+			t.Errorf("row %d: $y is not a node of document b", i)
+		}
+		if x.Start != y.Start {
+			t.Errorf("row %d: twins should share region labels (got %d vs %d)", i, x.Start, y.Start)
+		}
+	}
+
+	// Per-document planned evaluation: with coinciding labels, the only
+	// thing separating the result sets is node identity.
+	for _, v := range strategyVariants(false) {
+		resA, err := e.EvalOptions(`doc("a")//book[author]`, v.opts)
+		if err != nil {
+			t.Fatalf("variant %s on doc a: %v", v.name, err)
+		}
+		resB, err := e.EvalOptions(`doc("b")//book[author]`, v.opts)
+		if err != nil {
+			t.Fatalf("variant %s on doc b: %v", v.name, err)
+		}
+		if len(resA.Nodes) != 2 || len(resB.Nodes) != 2 {
+			t.Fatalf("variant %s: got %d/%d authored books, want 2/2", v.name, len(resA.Nodes), len(resB.Nodes))
+		}
+		for i := range resA.Nodes {
+			a, b := resA.Nodes[i], resB.Nodes[i]
+			if !inA[a] {
+				t.Errorf("variant %s: doc(\"a\") result %d is not a node of document a", v.name, i)
+			}
+			if !inB[b] {
+				t.Errorf("variant %s: doc(\"b\") result %d is not a node of document b", v.name, i)
+			}
+			if a.Start != b.Start {
+				t.Errorf("variant %s: result %d labels should coincide (got %d vs %d)", v.name, i, a.Start, b.Start)
+			}
+		}
+	}
+}

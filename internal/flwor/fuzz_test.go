@@ -1,0 +1,36 @@
+package flwor
+
+import "testing"
+
+// FuzzFLWORParse asserts the parser never panics on arbitrary input and
+// that every accepted expression round-trips: parse → String → parse
+// yields an expression that prints identically.
+func FuzzFLWORParse(f *testing.F) {
+	for _, seed := range []string{
+		`for $x in doc("d")//a return $x`,
+		`for $x in doc("d")//a, $y in doc("d")//b where $x << $y return $y`,
+		`for $x in doc("d")//a where exists($x//b) return <r>{ $x }</r>`,
+		`for $x in doc("d")//a let $c := $x//b return $x`,
+		`for $b in doc("bib.xml")//book where $b/price < 50 order by $b/title return <t>{ $b/title }</t>`,
+		`for $x in doc("d")//a where deep-equal($x/b, $x/c) and not($x/d = "z") return $x`,
+		`<out>text{ //a }more</out>`,
+		`//a[b]//c`,
+		`for $x in doc("d")//a return <r>{ $x/b, $x/c }</r>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejected input only needs to not panic
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse:\n  input  %q\n  printed %q\n  error  %v", src, printed, err)
+		}
+		if again := e2.String(); again != printed {
+			t.Fatalf("printer is not a fixpoint:\n  input   %q\n  printed %q\n  reprint %q", src, printed, again)
+		}
+	})
+}

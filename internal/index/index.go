@@ -8,6 +8,7 @@ package index
 import (
 	"sort"
 
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -75,6 +76,10 @@ func (ix *TagIndex) Selectivity(tag string) float64 {
 type Stream struct {
 	nodes []*xmltree.Node
 	pos   int
+
+	// Stats, when non-nil, counts every cursor advance (including the
+	// positions a SkipTo jumps over) as scanned nodes.
+	Stats *obs.OpStats
 }
 
 // NewStream returns a cursor over nodes, which must be in document order.
@@ -98,6 +103,7 @@ func (s *Stream) Head() *xmltree.Node {
 func (s *Stream) Advance() {
 	if s.pos < len(s.nodes) {
 		s.pos++
+		s.Stats.AddScanned(1)
 	}
 }
 
@@ -129,5 +135,6 @@ func (s *Stream) SkipTo(start int) {
 			hi = mid
 		}
 	}
+	s.Stats.AddScanned(int64(lo - s.pos))
 	s.pos = lo
 }

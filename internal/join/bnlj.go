@@ -3,6 +3,7 @@ package join
 import (
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/nok"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -23,6 +24,10 @@ type BoundedNLJoin struct {
 	// Stop, when non-nil, is polled per outer instance; returning true
 	// ends the stream early.
 	Stop func() bool
+
+	// Stats, when non-nil, receives the inner scans' node visits and
+	// the per-inner containment/dedup tests for EXPLAIN ANALYZE.
+	Stats *obs.OpStats
 
 	queue []*nestedlist.List
 	done  bool
@@ -79,6 +84,7 @@ func (j *BoundedNLJoin) joinOne(m *nestedlist.List) {
 		it.Stop = j.Stop
 		local := map[int]int{}
 		for n := it.GetNext(); n != nil; n = it.GetNext() {
+			j.Stats.AddComparisons(1)
 			if anchor := n.ProjectSlot(j.InnerSlot); len(anchor) > 0 {
 				start := anchor[0].Start
 				key := [2]int{start, local[start]}
@@ -114,6 +120,7 @@ func (j *BoundedNLJoin) joinOne(m *nestedlist.List) {
 			}
 		}
 		j.ScannedNodes += it.ScannedNodes
+		j.Stats.AddScanned(int64(it.ScannedNodes))
 	}
 	if len(batch) > 0 {
 		inner, err := nestedlist.MergeBalanced(batch)

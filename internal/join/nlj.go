@@ -3,6 +3,7 @@ package join
 import (
 	"blossomtree/internal/core"
 	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -40,6 +41,10 @@ type NestedLoopJoin struct {
 	// the stream early.
 	Stop func() bool
 
+	// Stats, when non-nil, counts predicate evaluations (the pair tests
+	// of the quadratic loop) for EXPLAIN ANALYZE.
+	Stats *obs.OpStats
+
 	outer  []*nestedlist.List
 	inner  []*nestedlist.List
 	oi, ii int
@@ -64,6 +69,7 @@ func (j *NestedLoopJoin) GetNext() *nestedlist.List {
 		for j.ii < len(j.inner) {
 			m, n := j.outer[j.oi], j.inner[j.ii]
 			j.ii++
+			j.Stats.AddComparisons(1)
 			ok, err := j.Pred(m, n)
 			if err != nil {
 				j.Err = err
@@ -91,6 +97,9 @@ type CrossingFilter struct {
 	Input            Operator
 	Crossing         *core.Crossing
 	FromSlot, ToSlot int
+
+	// Stats, when non-nil, counts crossing-predicate evaluations.
+	Stats *obs.OpStats
 }
 
 // GetNext returns the next passing instance or nil.
@@ -100,6 +109,7 @@ func (f *CrossingFilter) GetNext() *nestedlist.List {
 		if l == nil {
 			return nil
 		}
+		f.Stats.AddComparisons(1)
 		if f.Crossing.Eval(l.ProjectSlot(f.FromSlot), l.ProjectSlot(f.ToSlot)) {
 			return l
 		}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -35,6 +36,44 @@ import (
 type Operator interface {
 	GetNext() *nestedlist.List
 }
+
+// Instrumented wraps an operator and attributes its stream-level work —
+// GetNext calls, instances emitted, and (when enabled) inclusive wall
+// time — to an obs.OpStats node. Operators count their internal work
+// (nodes scanned, comparisons, stack depth) into the same node
+// themselves; the wrapper owns the measurements every operator shares,
+// so instrumentation does not disturb the operators' control flow.
+//
+// Elapsed time is inclusive of children: a parent's GetNext pulls its
+// inputs, as in a conventional EXPLAIN ANALYZE actual-time column.
+type Instrumented struct {
+	Op    Operator
+	Stats *obs.OpStats
+}
+
+// Instrument wraps op so its emissions and wall time are recorded in
+// stats. A nil stats returns op unchanged.
+func Instrument(op Operator, stats *obs.OpStats) Operator {
+	if stats == nil {
+		return op
+	}
+	return &Instrumented{Op: op, Stats: stats}
+}
+
+// GetNext pulls from the wrapped operator, recording the call.
+func (w *Instrumented) GetNext() *nestedlist.List {
+	start := w.Stats.Start()
+	l := w.Op.GetNext()
+	w.Stats.Stop(start)
+	w.Stats.AddCall()
+	if l != nil {
+		w.Stats.AddEmitted(1)
+	}
+	return l
+}
+
+// Unwrap returns the underlying operator.
+func (w *Instrumented) Unwrap() Operator { return w.Op }
 
 // Drain collects all remaining instances of an operator.
 func Drain(op Operator) []*nestedlist.List {

@@ -2,6 +2,7 @@ package join
 
 import (
 	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -28,6 +29,10 @@ type PipelinedDescJoin struct {
 	InnerSlot    int
 	PerPair      bool
 	Optional     bool
+
+	// Stats, when non-nil, accumulates containment-test counts for
+	// EXPLAIN ANALYZE (the merge's comparison work).
+	Stats *obs.OpStats
 
 	m       *nestedlist.List // current outer instance
 	mHi     int              // max end of the outer slot's region
@@ -83,6 +88,7 @@ func (j *PipelinedDescJoin) GetNext() *nestedlist.List {
 			continue
 		}
 		outerNodes := j.m.ProjectSlot(j.OuterSlot)
+		j.Stats.AddComparisons(1)
 		if !containsAny(outerNodes, nn) {
 			// Inner node precedes the outer region or sits in a gap.
 			j.n = j.Inner.GetNext()
@@ -112,6 +118,7 @@ func (j *PipelinedDescJoin) GetNext() *nestedlist.List {
 				j.n = j.Inner.GetNext()
 				continue
 			}
+			j.Stats.AddComparisons(1)
 			if in[0].Start > j.mHi || !containsAny(outerNodes, in[0]) {
 				break
 			}

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -15,6 +16,15 @@ type AncDescPair struct {
 // (ancestor, descendant) containment pair in a single merge pass with a
 // stack of nested ancestors. Output is ordered by descendant.
 func StackJoin(ancs, descs []*xmltree.Node) []AncDescPair {
+	return StackJoinStats(ancs, descs, nil)
+}
+
+// StackJoinStats is StackJoin with instrumentation: when stats is
+// non-nil it records both input lists as scanned nodes, each
+// containment test as a comparison, the stack's high-water mark, and
+// the emitted pair count.
+func StackJoinStats(ancs, descs []*xmltree.Node, stats *obs.OpStats) []AncDescPair {
+	stats.AddScanned(int64(len(ancs) + len(descs)))
 	var out []AncDescPair
 	var stack []*xmltree.Node
 	ai := 0
@@ -35,13 +45,16 @@ func StackJoin(ancs, descs []*xmltree.Node) []AncDescPair {
 				stack = stack[:len(stack)-1]
 			}
 			stack = append(stack, a)
+			stats.ObserveStackDepth(len(stack))
 		}
 		for _, a := range stack {
+			stats.AddComparisons(1)
 			if a != d && a.IsAncestorOf(d) {
 				out = append(out, AncDescPair{Anc: a, Desc: d})
 			}
 		}
 	}
+	stats.AddEmitted(int64(len(out)))
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"blossomtree/internal/core"
 	"blossomtree/internal/index"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -37,6 +38,9 @@ type TwigStack struct {
 	// PushCount counts stack pushes across all PathStack runs (a proxy
 	// for holistic-join work reported by the ablation benches).
 	PushCount int
+	// Stats, when non-nil, receives stream-element scans, merge-phase
+	// pair tests, and per-vertex stack depths for EXPLAIN ANALYZE.
+	Stats *obs.OpStats
 	// Stop, when non-nil, is polled periodically; returning true aborts
 	// the run with ErrStopped.
 	Stop func() bool
@@ -128,6 +132,7 @@ func (ts *TwigStack) pathStack(path []*core.Vertex) []pathSolution {
 	streams := make([]*index.Stream, k)
 	for i, v := range path {
 		streams[i] = index.NewStream(ts.stream(v))
+		streams[i].Stats = ts.Stats
 	}
 	stacks := make([][]tsEntry, k)
 	var solutions []pathSolution
@@ -186,6 +191,7 @@ func (ts *TwigStack) pathStack(path []*core.Vertex) []pathSolution {
 			}
 			stacks[qmin] = append(stacks[qmin], tsEntry{node: h, parentIdx: parentIdx})
 			ts.PushCount++
+			ts.Stats.ObserveStackDepth(len(stacks[qmin]))
 			if qmin == leaf {
 				e := stacks[leaf][len(stacks[leaf])-1]
 				expand(leaf-1, e.parentIdx, pathSolution{e.node})
@@ -310,6 +316,7 @@ func (ts *TwigStack) Run() ([]TwigMatch, error) {
 				return nil, ErrStopped
 			}
 			pk := matchKey(m, path[:shared])
+			ts.Stats.AddComparisons(1)
 			for _, sol := range idx[pk] {
 				nm := TwigMatch{}
 				for id, n := range m {

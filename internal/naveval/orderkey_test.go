@@ -1,0 +1,47 @@
+package naveval
+
+import "testing"
+
+// TestOrderKeyLess pins the order-by comparator's edge behaviour:
+// numeric comparison whenever both keys parse as floats (so "9" sorts
+// before "10" and leading zeros or an explicit sign don't change the
+// value), lexicographic comparison as soon as either side is
+// non-numeric (including the empty key an absent order-by path yields).
+func TestOrderKeyLess(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		ab   bool // OrderKeyLess(a, b)
+		ba   bool // OrderKeyLess(b, a)
+	}{
+		{"numeric not lexicographic", "9", "10", true, false},
+		{"decimal", "2.5", "2.50", false, false},
+		{"leading zeros equal", "007", "7", false, false},
+		{"leading zeros ordered", "008", "07", false, true},
+		{"plus sign equals bare", "+1", "1", false, false},
+		{"negative before positive", "-2", "1", true, false},
+		{"negatives reverse magnitude", "-10", "-2", true, false},
+		{"empty key before zero", "", "0", true, false},
+		{"empty key before space", "", " ", true, false},
+		{"empty keys equal", "", "", false, false},
+		{"number vs string is lexicographic", "10", "abc", true, false},
+		{"string vs number digit-first", "abc", "5", false, true},
+		{"strings lexicographic", "apple", "banana", true, false},
+		{"identical strings", "x", "x", false, false},
+		{"whitespace not numeric", " 1", "2", true, false},
+		{"sign only is a string", "-", "+", false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := OrderKeyLess(tc.a, tc.b); got != tc.ab {
+				t.Errorf("OrderKeyLess(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.ab)
+			}
+			if got := OrderKeyLess(tc.b, tc.a); got != tc.ba {
+				t.Errorf("OrderKeyLess(%q, %q) = %v, want %v", tc.b, tc.a, got, tc.ba)
+			}
+			if tc.ab && tc.ba {
+				t.Errorf("comparator not asymmetric on (%q, %q)", tc.a, tc.b)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package nok
 
 import (
 	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -23,6 +24,9 @@ type Iterator struct {
 	// ScannedNodes counts anchor candidates inspected, the I/O proxy the
 	// experiments report.
 	ScannedNodes int
+	// Stats, when non-nil, mirrors ScannedNodes and counts pattern-match
+	// attempts (MatchAt calls) as comparisons for EXPLAIN ANALYZE.
+	Stats *obs.OpStats
 	// Stop, when non-nil, is polled periodically; returning true ends
 	// the stream early (deadline enforcement for DNF experiment cells).
 	Stop func() bool
@@ -64,12 +68,14 @@ func (it *Iterator) GetNext() *nestedlist.List {
 			return nil
 		}
 		it.ScannedNodes++
+		it.Stats.AddScanned(1)
 		if it.Stop != nil && it.ScannedNodes%1024 == 0 && it.Stop() {
 			return nil
 		}
 		if x.Kind == xmltree.ElementNode && !it.m.NoK.Root.MatchesTag(x.Tag) && !it.m.NoK.Root.IsDocRoot() {
 			continue
 		}
+		it.Stats.AddComparisons(1)
 		if l := it.m.MatchAt(x); l != nil {
 			it.queue = it.m.Expand(l)
 		}

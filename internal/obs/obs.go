@@ -1,0 +1,127 @@
+// Package obs is the engine's observability layer: a lightweight
+// metrics registry of atomic counters, and per-query ExecStats trees
+// that mirror a physical plan's operator tree with work counters
+// (nodes scanned, instances emitted, comparisons, stack depth, wall
+// time) next to the optimizer's estimates.
+//
+// Everything here is safe under the engine's concurrency model: the
+// registry and all OpStats counters are plain atomics, so concurrent
+// QueryBatch evaluations — and the planner's parallel NoK pre-scan,
+// which drains sibling operators from several goroutines — may bump
+// them without locks. Stats collection is near-zero-cost when
+// disabled: every mutator is a nil-safe method on *OpStats, so
+// uninstrumented operators pay one predictable branch, and wall-clock
+// timing (the only expensive probe) is off unless explicitly enabled
+// for EXPLAIN ANALYZE.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is an atomic monotonically-increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a named set of counters. Registration is guarded by a
+// mutex; the counters themselves are lock-free, so the hot path (Add on
+// an already-obtained *Counter) never contends.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Default is the process-wide registry the engine reports into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add bumps the named counter by n (registering it if needed).
+func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
+
+// Snapshot returns a point-in-time copy of every counter's value.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Delta subtracts an earlier snapshot from the current values, keeping
+// only counters that moved.
+func (r *Registry) Delta(before map[string]int64) map[string]int64 {
+	now := r.Snapshot()
+	out := make(map[string]int64)
+	for name, v := range now {
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// Format renders a snapshot (or delta) sorted by counter name.
+func Format(values map[string]int64) string {
+	names := make([]string, 0, len(values))
+	for n := range values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-32s %d\n", n, values[n])
+	}
+	return sb.String()
+}
+
+// Registry counter names the executor reports. Kept here so readers of
+// metrics output can find their producers.
+const (
+	MetricQueries        = "queries_total"
+	MetricQueryErrors    = "query_errors_total"
+	MetricQueryNanos     = "query_nanos_total"
+	MetricNodesScanned   = "operator_nodes_scanned_total"
+	MetricInstancesOut   = "operator_instances_emitted_total"
+	MetricComparisons    = "operator_comparisons_total"
+	MetricOperatorCalls  = "operator_getnext_calls_total"
+	MetricDocumentsAdded = "documents_added_total"
+)

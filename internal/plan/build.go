@@ -8,26 +8,29 @@ import (
 	"blossomtree/internal/join"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/nok"
+	"blossomtree/internal/obs"
 )
 
 // component is a connected part of the join graph under construction:
-// the operator computing it and the set of NoKs whose slots it fills.
+// the operator computing it, the stats node tracking it, and the set of
+// NoKs whose slots it fills.
 type component struct {
-	op   join.Operator
-	noks map[*core.NoK]bool
+	op    join.Operator
+	stats *obs.OpStats
+	noks  map[*core.NoK]bool
 }
 
 // buildNoKPlan wires NoK scans and structural joins along the
 // decomposition's links, then connects remaining components through
 // crossing-edge joins, and finally applies same-component crossings and
 // positional filters as selections.
-func (p *Plan) buildNoKPlan() (join.Operator, error) {
+func (p *Plan) buildNoKPlan() (join.Operator, *obs.OpStats, error) {
 	d := p.Decomp
 	matchers := make(map[*core.NoK]*nok.Matcher, len(d.NoKs))
 	for _, n := range d.NoKs {
 		m, err := nok.NewMatcher(n, p.Query.Return)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		matchers[n] = m
 	}
@@ -58,7 +61,8 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 
 	var comps []*component
 	newComponent := func(n *core.NoK) *component {
-		c := &component{op: p.baseScan(matchers[n]), noks: map[*core.NoK]bool{n: true}}
+		op, st := p.baseScan(matchers[n])
+		c := &component{op: op, stats: st, noks: map[*core.NoK]bool{n: true}}
 		comps = append(comps, c)
 		return c
 	}
@@ -106,13 +110,14 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 		}
 		parentComp := findComp(p.noKOfVertex(l.Parent))
 		if parentComp == nil {
-			return nil, fmt.Errorf("plan: link parent %s has no component", l.Parent.Label())
+			return nil, nil, fmt.Errorf("plan: link parent %s has no component", l.Parent.Label())
 		}
-		op, err := p.descJoin(parentComp.op, childM, l)
+		op, st, err := p.descJoin(parentComp.op, parentComp.stats, childM, l)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		parentComp.op = op
+		parentComp.stats = st
 		parentComp.noks[l.Child] = true
 	}
 
@@ -125,7 +130,7 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 		fromC := findComp(p.noKOfVertex(c.From))
 		toC := findComp(p.noKOfVertex(c.To))
 		if fromC == nil || toC == nil {
-			return nil, fmt.Errorf("plan: crossing %s endpoints not planned", c)
+			return nil, nil, fmt.Errorf("plan: crossing %s endpoints not planned", c)
 		}
 		if fromC == toC {
 			filters = append(filters, c)
@@ -133,14 +138,19 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 		}
 		fromSlot, toSlot := p.slotOf(c.From), p.slotOf(c.To)
 		p.note("crossing %s joins two components (nested-loop)", c)
+		st := obs.NewOpStats("NestedLoopJoin", fmt.Sprintf("crossing %s", c))
+		st.EstNodes = p.cardinality(c.From) * p.cardinality(c.To)
+		st.Adopt(fromC.stats, toC.stats)
 		nl := &join.NestedLoopJoin{
 			Outer: fromC.op,
 			Inner: toC.op,
 			Pred:  join.CrossingPredicate(c, fromSlot, toSlot),
 			Stop:  p.opts.Stop,
+			Stats: st,
 		}
 		p.watch(func() error { return nl.Err })
-		fromC.op = nl
+		fromC.op = join.Instrument(nl, st)
+		fromC.stats = st
 		for n := range toC.noks {
 			fromC.noks[n] = true
 		}
@@ -151,23 +161,30 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 	for len(comps) > 1 {
 		a, b := comps[0], comps[1]
 		p.note("cartesian product of disconnected components")
-		nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Stop: p.opts.Stop,
+		st := obs.NewOpStats("NestedLoopJoin", "cartesian product")
+		st.Adopt(a.stats, b.stats)
+		nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Stop: p.opts.Stop, Stats: st,
 			Pred: func(_, _ *nestedlist.List) (bool, error) { return true, nil }}
 		p.watch(func() error { return nl.Err })
-		a.op = nl
+		a.op = join.Instrument(nl, st)
+		a.stats = st
 		for n := range b.noks {
 			a.noks[n] = true
 		}
 		removeComp(b)
 	}
 	if len(comps) == 0 {
-		return join.NewSliceOperator(nil), nil
+		st := obs.NewOpStats("Empty", "no components")
+		return join.Instrument(join.NewSliceOperator(nil), st), st, nil
 	}
-	op := comps[0].op
+	op, stats := comps[0].op, comps[0].stats
 
 	for _, c := range filters {
-		op = &join.CrossingFilter{Input: op, Crossing: c,
-			FromSlot: p.slotOf(c.From), ToSlot: p.slotOf(c.To)}
+		st := obs.NewOpStats("CrossingFilter", fmt.Sprintf("σ %s", c))
+		st.Adopt(stats)
+		op = join.Instrument(&join.CrossingFilter{Input: op, Crossing: c,
+			FromSlot: p.slotOf(c.From), ToSlot: p.slotOf(c.To), Stats: st}, st)
+		stats = st
 	}
 
 	// Positional predicates on cut targets become stream selections
@@ -176,13 +193,17 @@ func (p *Plan) buildNoKPlan() (join.Operator, error) {
 	for _, l := range d.Links {
 		if pos, has := l.Child.Root.PositionConstraint(); has {
 			if !l.IsScan() {
-				return nil, fmt.Errorf("plan: positional predicate on nested //-step %s is unsupported", l.Child.Root.Label())
+				return nil, nil, fmt.Errorf("plan: positional predicate on nested //-step %s is unsupported", l.Child.Root.Label())
 			}
 			slot := p.slotOf(l.Child.Root)
-			op = &join.PositionFilter{Input: op, Slot: slot, Pos: pos}
+			st := obs.NewOpStats("PositionFilter", fmt.Sprintf("position()=%d", pos))
+			st.EstOut = 1
+			st.Adopt(stats)
+			op = join.Instrument(&join.PositionFilter{Input: op, Slot: slot, Pos: pos}, st)
+			stats = st
 		}
 	}
-	return op, nil
+	return op, stats, nil
 }
 
 // combine Cartesian-joins two components, using any crossing that spans
@@ -203,9 +224,12 @@ func (p *Plan) combine(a, b *component, _ *core.Crossing, l core.Link) {
 		pred = func(_, _ *nestedlist.List) (bool, error) { return true, nil }
 		p.note("cartesian join of independent for-clauses")
 	}
-	nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Pred: pred, Stop: p.opts.Stop}
+	st := obs.NewOpStats("NestedLoopJoin", fmt.Sprintf("%s-join of for-clauses", l.Mode))
+	st.Adopt(a.stats, b.stats)
+	nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Pred: pred, Stop: p.opts.Stop, Stats: st}
 	p.watch(func() error { return nl.Err })
-	a.op = nl
+	a.op = join.Instrument(nl, st)
+	a.stats = st
 	for n := range b.noks {
 		a.noks[n] = true
 	}
@@ -222,80 +246,114 @@ func (p *Plan) markCrossingUsed(c *core.Crossing) {
 
 // baseScan picks the access method for a NoK's anchors: tag-index scan
 // when an index exists and the root has a selective name test,
-// sequential scan otherwise.
-func (p *Plan) baseScan(m *nok.Matcher) join.Operator {
+// sequential scan otherwise. The returned stats node carries the cost
+// model's scan estimate and receives the scan's actual counters.
+func (p *Plan) baseScan(m *nok.Matcher) (join.Operator, *obs.OpStats) {
+	scanStats := func(kind string) *obs.OpStats {
+		st := obs.NewOpStats("NoKScan", fmt.Sprintf("NoK%d %s", m.NoK.Index, kind))
+		st.EstNodes = p.scanCost(m.NoK)
+		st.EstOut = p.cardinality(m.NoK.Root)
+		return st
+	}
 	if ls, ok := p.preScanned[m.NoK]; ok {
-		return join.NewSliceOperator(ls)
+		st := scanStats("replay")
+		// The pre-scan already visited the nodes; attribute them here so
+		// the tree's scan totals match a serial run of the same plan.
+		st.AddScanned(p.preScanScanned[m.NoK])
+		return join.Instrument(join.NewSliceOperator(ls), st), st
 	}
 	if p.opts.Index != nil && !m.NoK.Root.IsDocRoot() && m.RootTest() != "*" && len(m.NoK.Root.Constraints) == 0 {
 		p.note("NoK%d anchors via tag index %q (%d candidates)",
 			m.NoK.Index, m.RootTest(), p.opts.Index.Count(m.RootTest()))
+		st := scanStats(fmt.Sprintf("index(%s)", m.RootTest()))
 		it := nok.NewIndexIterator(m, p.opts.Index.Nodes(m.RootTest()))
 		it.Stop = p.opts.Stop
-		return it
+		it.Stats = st
+		return join.Instrument(it, st), st
 	}
 	p.note("NoK%d anchors via sequential scan", m.NoK.Index)
+	st := scanStats("seq")
 	it := nok.NewIterator(m, p.doc)
 	it.Stop = p.opts.Stop
-	return it
+	it.Stats = st
+	return join.Instrument(it, st), st
 }
 
 // descJoin builds the structural join for one cut //-edge under the
-// plan's strategy.
-func (p *Plan) descJoin(outer join.Operator, inner *nok.Matcher, l core.Link) (join.Operator, error) {
+// plan's strategy, wiring the outer's stats node (and the inner scan's,
+// when the inner is a base scan) as children of the join's.
+func (p *Plan) descJoin(outer join.Operator, outerStats *obs.OpStats, inner *nok.Matcher, l core.Link) (join.Operator, *obs.OpStats, error) {
 	outerSlot := p.slotOf(l.Parent)
 	innerSlot := p.slotOf(l.Child.Root)
 	perPair := l.Child.Root.ForBound
 	optional := l.Mode == core.Optional
-	switch p.Strategy {
-	case Pipelined:
-		p.note("link %s//NoK%d: pipelined merge join", l.Parent.Label(), l.Child.Index)
-		pl := &join.PipelinedDescJoin{
-			Outer: outer, Inner: p.baseScan(inner),
-			OuterSlot: outerSlot, InnerSlot: innerSlot,
-			PerPair: perPair, Optional: optional,
-		}
-		p.watch(func() error { return pl.Err })
-		return pl, nil
-	case BoundedNL:
-		p.note("link %s//NoK%d: bounded nested-loop join", l.Parent.Label(), l.Child.Index)
+	detail := fmt.Sprintf("%s//NoK%d", l.Parent.Label(), l.Child.Index)
+	// Output-cardinality estimate: per-pair joins emit about one instance
+	// per inner match; grouping joins emit about one per outer match.
+	estOut := p.cardinality(l.Parent)
+	if perPair {
+		estOut = p.cardinality(l.Child.Root)
+	}
+	boundedNL := func() (join.Operator, *obs.OpStats, error) {
+		st := obs.NewOpStats("BoundedNLJoin", detail)
+		st.EstNodes = p.cardinality(l.Parent) * p.avgRegion(l.Parent)
+		st.EstOut = estOut
+		st.Adopt(outerStats)
 		bn := &join.BoundedNLJoin{
 			Outer: outer, OuterSlot: outerSlot,
 			Inner: inner, InnerSlot: innerSlot,
 			PerPair: perPair, Optional: optional,
-			Stop: p.opts.Stop,
+			Stop: p.opts.Stop, Stats: st,
 		}
 		p.watch(func() error { return bn.Err })
-		return bn, nil
+		return join.Instrument(bn, st), st, nil
+	}
+	switch p.Strategy {
+	case Pipelined:
+		p.note("link %s//NoK%d: pipelined merge join", l.Parent.Label(), l.Child.Index)
+		innerOp, innerStats := p.baseScan(inner)
+		st := obs.NewOpStats("PipelinedDescJoin", detail)
+		st.EstNodes = p.cardinality(l.Parent) + p.cardinality(l.Child.Root)
+		st.EstOut = estOut
+		st.Adopt(outerStats, innerStats)
+		pl := &join.PipelinedDescJoin{
+			Outer: outer, Inner: innerOp,
+			OuterSlot: outerSlot, InnerSlot: innerSlot,
+			PerPair: perPair, Optional: optional,
+			Stats: st,
+		}
+		p.watch(func() error { return pl.Err })
+		return join.Instrument(pl, st), st, nil
+	case BoundedNL:
+		p.note("link %s//NoK%d: bounded nested-loop join", l.Parent.Label(), l.Child.Index)
+		return boundedNL()
 	case NaiveNL:
 		if optional || !perPair {
 			// The materializing NLJ has no optional/grouping modes; fall
 			// back to the bounded variant which shares its loop shape.
-			bn := &join.BoundedNLJoin{
-				Outer: outer, OuterSlot: outerSlot,
-				Inner: inner, InnerSlot: innerSlot,
-				PerPair: perPair, Optional: optional,
-				Stop: p.opts.Stop,
-			}
-			p.watch(func() error { return bn.Err })
-			return bn, nil
+			return boundedNL()
 		}
 		p.note("link %s//NoK%d: naive nested-loop join", l.Parent.Label(), l.Child.Index)
+		innerOp, innerStats := p.baseScan(inner)
+		st := obs.NewOpStats("NestedLoopJoin", detail)
+		st.EstNodes = p.cardinality(l.Parent) * p.cardinality(l.Child.Root)
+		st.EstOut = estOut
+		st.Adopt(outerStats, innerStats)
 		nl := &join.NestedLoopJoin{
-			Outer: outer, Inner: p.baseScan(inner),
+			Outer: outer, Inner: innerOp,
 			Pred: join.DescPredicate(outerSlot, innerSlot),
-			Stop: p.opts.Stop,
+			Stop: p.opts.Stop, Stats: st,
 		}
 		p.watch(func() error { return nl.Err })
-		return nl, nil
+		return join.Instrument(nl, st), st, nil
 	default:
-		return nil, fmt.Errorf("plan: strategy %s cannot build //-joins", p.Strategy)
+		return nil, nil, fmt.Errorf("plan: strategy %s cannot build //-joins", p.Strategy)
 	}
 }
 
 // buildTwig runs the holistic TwigStack and adapts its matches to the
 // instance stream interface.
-func (p *Plan) buildTwig() (join.Operator, error) {
+func (p *Plan) buildTwig() (join.Operator, *obs.OpStats, error) {
 	root := p.Query.Tree.Roots[0]
 	start := root
 	if root.IsDocRoot() {
@@ -303,9 +361,19 @@ func (p *Plan) buildTwig() (join.Operator, error) {
 	}
 	ts, err := join.NewTwigStack(start, p.opts.Index)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ts.Stop = p.opts.Stop
+	st := obs.NewOpStats("TwigStack", fmt.Sprintf("twig rooted at %s", start.Label()))
+	for _, v := range p.Query.Tree.Vertices {
+		if !v.IsDocRoot() {
+			if st.EstNodes < 0 {
+				st.EstNodes = 0
+			}
+			st.EstNodes += p.cardinality(v)
+		}
+	}
+	ts.Stats = st
 	// Keep only the variables' bindings: the executor needs distinct
 	// variable combinations, not every existential witness.
 	for _, v := range p.Query.Vars {
@@ -313,7 +381,7 @@ func (p *Plan) buildTwig() (join.Operator, error) {
 	}
 	matches, err := ts.Run()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p.note("TwigStack produced %d matches (%d stack pushes)", len(matches), ts.PushCount)
 	ls := make([]*nestedlist.List, 0, len(matches))
@@ -325,7 +393,7 @@ func (p *Plan) buildTwig() (join.Operator, error) {
 	sort.SliceStable(ls, func(i, j int) bool {
 		return instanceKeyLess(ls[i], ls[j], p.Query.Return)
 	})
-	return join.NewSliceOperator(ls), nil
+	return join.Instrument(join.NewSliceOperator(ls), st), st, nil
 }
 
 // matchToInstance converts one TwigMatch into a NestedList instance:

@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blossomtree/internal/index"
+	"blossomtree/internal/xmltree"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCase is one EXPLAIN rendering pinned against a golden file.
+// Analyze goldens execute the plan first; they stay deterministic
+// because wall-clock timing is only rendered when Options.Analyze
+// enables it, which these cases do not.
+type goldenCase struct {
+	name     string
+	query    string
+	strategy Strategy
+	indexed  bool
+	analyze  bool
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{name: "pipelined_explain", query: "//a[//c]//b", strategy: Pipelined},
+		{name: "bounded_nl_explain", query: "//a//c", strategy: BoundedNL},
+		{name: "naive_nl_explain", query: "//a//c", strategy: NaiveNL, indexed: true},
+		{name: "twig_explain", query: "//a[b]//c", strategy: Twig, indexed: true},
+		{name: "cost_based_explain", query: "//a//b//c", strategy: CostBased, indexed: true},
+		{name: "pipelined_analyze", query: "//a[//c]//b", strategy: Pipelined, analyze: true},
+		{name: "bounded_nl_analyze", query: "//a//c", strategy: BoundedNL, analyze: true},
+		{name: "twig_analyze", query: "//a[b]//c", strategy: Twig, indexed: true, analyze: true},
+	}
+}
+
+func TestExplainGolden(t *testing.T) {
+	doc := parse(t, sample)
+	ix := index.Build(doc)
+	stats := xmltree.ComputeStats(doc)
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Strategy: tc.strategy, Stats: stats}
+			if tc.indexed || tc.strategy == Twig {
+				opts.Index = ix
+			}
+			pl, err := Build(compilePath(t, tc.query), doc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.analyze {
+				if _, err := pl.Execute(); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := pl.Operator(); err != nil {
+				t.Fatal(err)
+			}
+			got := pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(tc.analyze)
+
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/plan -run TestExplainGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN output drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"blossomtree/internal/join"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/nok"
+	"blossomtree/internal/obs"
 )
 
 // preScanParallel materializes every NoK base scan the operator tree
@@ -28,17 +29,23 @@ func (p *Plan) preScanParallel(workers int) error {
 	// Operator construction stays serial: baseScan appends Explain
 	// notes, which must not race.
 	ops := make([]join.Operator, len(targets))
+	stats := make([]*obs.OpStats, len(targets))
 	for i, n := range targets {
 		m, err := nok.NewMatcher(n, p.Query.Return)
 		if err != nil {
 			return err
 		}
-		ops[i] = p.baseScan(m)
+		ops[i], stats[i] = p.baseScan(m)
 	}
 	results := join.DrainAll(ops, workers)
 	p.preScanned = make(map[*core.NoK][]*nestedlist.List, len(targets))
+	p.preScanScanned = make(map[*core.NoK]int64, len(targets))
 	for i, n := range targets {
 		p.preScanned[n] = results[i]
+		// The pre-scan's stats nodes are discarded (the final tree is
+		// built afterwards); carry their node-visit counts over so the
+		// replayed scans report what they actually cost.
+		p.preScanScanned[n] = stats[i].Scanned()
 	}
 	p.note("pre-scanned %d NoKs in parallel (%d workers requested)", len(targets), workers)
 	return nil

@@ -24,6 +24,7 @@ import (
 	"blossomtree/internal/index"
 	"blossomtree/internal/join"
 	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
 
@@ -85,6 +86,10 @@ type Options struct {
 	// Stop, when non-nil, is polled by the plan's operators; returning
 	// true ends execution early (the DNF timeout of the experiments).
 	Stop func() bool
+	// Analyze enables per-operator wall-clock timing on the plan's stats
+	// tree (EXPLAIN ANALYZE). Counters are collected regardless; only
+	// timing is gated, because it costs two clock reads per GetNext.
+	Analyze bool
 }
 
 // Plan is an executable physical plan.
@@ -100,6 +105,14 @@ type Plan struct {
 	usedCrossings map[*core.Crossing]bool
 	errChecks     []func() error
 	preScanned    map[*core.NoK][]*nestedlist.List
+	// preScanScanned carries the node-visit counts of a parallel
+	// pre-scan into the stats tree the next Operator build creates (the
+	// replayed SliceOperators did the scanning up front).
+	preScanScanned map[*core.NoK]int64
+	// stats is the root of the per-operator statistics tree of the most
+	// recent Operator build; rebuilt fresh on every build so a plan
+	// explained and then executed does not double-count.
+	stats *obs.OpStats
 }
 
 // watch registers a deferred-error source to be checked after draining.
@@ -216,10 +229,39 @@ func (p *Plan) Err() error {
 	return nil
 }
 
-// Operator builds the root operator of the plan.
+// Operator builds the root operator of the plan, along with a fresh
+// per-operator statistics tree (StatsTree) mirroring its shape.
 func (p *Plan) Operator() (join.Operator, error) {
+	var op join.Operator
+	var st *obs.OpStats
+	var err error
 	if p.Strategy == Twig {
-		return p.buildTwig()
+		op, st, err = p.buildTwig()
+	} else {
+		op, st, err = p.buildNoKPlan()
 	}
-	return p.buildNoKPlan()
+	if err != nil {
+		return nil, err
+	}
+	p.stats = st
+	if p.opts.Analyze {
+		st.EnableTiming()
+	}
+	return op, nil
+}
+
+// StatsTree returns the root of the per-operator statistics tree built
+// by the most recent Operator call (nil before the first build). Each
+// node pairs the cost model's estimates with the counters the operators
+// accumulate while running.
+func (p *Plan) StatsTree() *obs.OpStats { return p.stats }
+
+// ExplainTree renders the annotated operator tree: the chosen strategy,
+// per-operator cost estimates, and — with analyze — the actual counters
+// and wall time recorded during execution.
+func (p *Plan) ExplainTree(analyze bool) string {
+	var sb strings.Builder
+	sb.WriteString("plan strategy: " + p.Strategy.String() + "\n")
+	sb.WriteString(p.stats.Render(analyze))
+	return sb.String()
 }

@@ -61,11 +61,22 @@ type Source struct {
 	Var  string // for SourceVar
 }
 
+// quoteLit renders a string literal in lexer syntax. The lexer has no
+// escape sequences, so the literal must be wrapped in a quote character
+// it does not contain; a string lexed from source never contains its own
+// delimiter, so one of the two quote kinds always works.
+func quoteLit(s string) string {
+	if strings.Contains(s, `"`) {
+		return "'" + s + "'"
+	}
+	return `"` + s + `"`
+}
+
 // String renders the source prefix.
 func (s Source) String() string {
 	switch s.Kind {
 	case SourceDoc:
-		return fmt.Sprintf("doc(%q)", s.Doc)
+		return "doc(" + quoteLit(s.Doc) + ")"
 	case SourceVar:
 		return "$" + s.Var
 	default:
@@ -219,9 +230,11 @@ func (o Operand) String() string {
 	case OperandPath:
 		return o.Path.String()
 	case OperandString:
-		return strconv.Quote(o.Str)
+		return quoteLit(o.Str)
 	default:
-		return strconv.FormatFloat(o.Num, 'g', -1, 64)
+		// 'f' keeps the rendering inside the lexer's digits-and-dot number
+		// syntax; 'g' would emit exponent forms the lexer cannot read back.
+		return strconv.FormatFloat(o.Num, 'f', -1, 64)
 	}
 }
 

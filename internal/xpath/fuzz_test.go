@@ -1,0 +1,40 @@
+package xpath
+
+import "testing"
+
+// FuzzXPathParse asserts two properties over arbitrary input: the parser
+// never panics, and any path it accepts round-trips through the printer
+// — parse → String → parse yields a path that prints identically, so
+// the printed form is a fixpoint of the grammar.
+func FuzzXPathParse(f *testing.F) {
+	for _, seed := range []string{
+		"//a",
+		"//a//b/c",
+		"/a/b[c]/@id",
+		`doc("bib.xml")//book[author/last="Knuth"]/title`,
+		"$x//b[2]",
+		"//a[.//b and not(c)]",
+		"//a[b/@n=1.5 or c]",
+		"//a/following-sibling::b",
+		"//a[price<49.99]",
+		"//*[b]",
+		".",
+		"//a['it''s'!=\"x\"]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input only needs to not panic
+		}
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse:\n  input  %q\n  printed %q\n  error  %v", src, printed, err)
+		}
+		if again := p2.String(); again != printed {
+			t.Fatalf("printer is not a fixpoint:\n  input   %q\n  printed %q\n  reprint %q", src, printed, again)
+		}
+	})
+}

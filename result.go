@@ -158,6 +158,17 @@ func (r *Result) Plan() string {
 	return r.inner.Plan.Explain()
 }
 
+// ExplainAnalyze renders the executed plan's operator tree with the
+// cost model's estimates next to the counters the run recorded (empty
+// for navigational evaluation). Wall-time columns appear when the query
+// ran with Options.Analyze.
+func (r *Result) ExplainAnalyze() string {
+	if r.inner.Plan == nil {
+		return ""
+	}
+	return r.inner.Plan.ExplainTree(true)
+}
+
 // Column collects one variable's first-node binding across all rows, a
 // convenience for the common singleton case.
 func (r *Result) Column(variable string) []Node {
