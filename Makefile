@@ -3,6 +3,8 @@
 #   make build   — compile everything
 #   make test    — tier-1 verify: build + full test suite
 #   make check   — tier-2 verify: go vet + race-detector test run
+#                  (includes the cancellation stress pass)
+#   make stress  — cancellation/fault-injection stress under -race
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
 #   make fuzz    — parser fuzz smoke (FUZZTIME per target, default 30s)
@@ -10,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race check bench qps fuzz
+.PHONY: build test vet race check stress bench qps fuzz
 
 build:
 	$(GO) build ./...
@@ -26,8 +28,18 @@ race:
 
 # Tier-2 verify (referenced by ROADMAP.md): static analysis plus the
 # full suite under the race detector, which exercises the concurrent
-# Add+Eval stress tests against the snapshot engine.
-check: vet race
+# Add+Eval stress tests against the snapshot engine, plus the
+# cancellation stress pass.
+check: vet race stress
+
+# Cancellation/fault-injection stress: mid-flight cancellation of batch
+# and multi-document evaluation, scripted operator panics, and budget
+# aborts, repeated under the race detector so governor state and worker
+# draining are exercised across interleavings.
+stress:
+	$(GO) test -race -timeout 120s -count=3 \
+		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits' \
+		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -100,6 +100,9 @@ type Options struct {
 	// (nodes scanned, instances emitted, comparisons) are collected
 	// regardless.
 	Analyze bool
+	// Budget bounds the evaluation's resources; exhaustion aborts the
+	// query with ErrBudgetExceeded. The zero Budget means unlimited.
+	Budget Budget
 }
 
 func (o Options) toPlan() (plan.Options, error) {
@@ -112,6 +115,7 @@ func (o Options) toPlan() (plan.Options, error) {
 		MergeScans: o.MergeScans,
 		Parallel:   o.Parallel,
 		Analyze:    o.Analyze,
+		Budget:     o.Budget.toGov(),
 	}, nil
 }
 

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -25,15 +27,18 @@ import (
 
 func main() {
 	var (
-		file     = flag.String("file", "", "XML document to query (required)")
-		strategy = flag.String("strategy", "auto", "join strategy: auto, pipelined, bounded-nl, twigstack, navigational")
-		explain  = flag.Bool("explain", false, "execute the query and print the annotated plan tree (cost estimates next to actual counters and timings)")
-		explOnly = flag.Bool("explain-only", false, "print the plan with estimates only, without executing")
-		metrics  = flag.Bool("metrics", false, "print the engine metrics registry after the run")
-		noIndex  = flag.Bool("no-indexes", false, "disable tag indexes (streaming configuration)")
-		parallel = flag.Int("parallel", 0, "fan independent NoK scans out across N workers (-1 = all cores)")
-		indent   = flag.Bool("indent", false, "pretty-print XML output")
-		quiet    = flag.Bool("count", false, "print only the result count")
+		file      = flag.String("file", "", "XML document to query (required)")
+		strategy  = flag.String("strategy", "auto", "join strategy: auto, pipelined, bounded-nl, twigstack, navigational")
+		explain   = flag.Bool("explain", false, "execute the query and print the annotated plan tree (cost estimates next to actual counters and timings)")
+		explOnly  = flag.Bool("explain-only", false, "print the plan with estimates only, without executing")
+		metrics   = flag.Bool("metrics", false, "print the engine metrics registry after the run")
+		noIndex   = flag.Bool("no-indexes", false, "disable tag indexes (streaming configuration)")
+		parallel  = flag.Int("parallel", 0, "fan independent NoK scans out across N workers (-1 = all cores)")
+		indent    = flag.Bool("indent", false, "pretty-print XML output")
+		quiet     = flag.Bool("count", false, "print only the result count")
+		timeout   = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = no limit)")
+		maxNodes  = flag.Int64("max-nodes", 0, "abort after scanning this many document/index nodes (0 = no limit)")
+		maxOutput = flag.Int64("max-output", 0, "abort after producing this many result tuples (0 = no limit)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: blossom -file doc.xml [flags] 'query'\n\n")
@@ -57,7 +62,18 @@ func main() {
 	opts := blossomtree.Options{
 		Strategy: blossomtree.Strategy(*strategy),
 		Parallel: *parallel,
+		Budget: blossomtree.Budget{
+			MaxNodes:  *maxNodes,
+			MaxOutput: *maxOutput,
+			Timeout:   *timeout,
+		},
 	}
+
+	// Ctrl-C cancels the in-flight query through the governor rather
+	// than killing the process: the engine unwinds with ErrCanceled and
+	// the partial operator statistics are printed below.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	if *explOnly {
 		s, err := eng.ExplainWith(query, opts)
@@ -77,7 +93,7 @@ func main() {
 		return
 	}
 
-	res, err := eng.QueryWith(query, opts)
+	res, err := eng.QueryWithContext(ctx, query, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -126,5 +142,10 @@ func printMetrics(enabled bool) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "blossom:", err)
+	// A governed abort (timeout, budget, Ctrl-C) carries the partial
+	// EXPLAIN ANALYZE tree recorded up to the abort point.
+	if st, ok := blossomtree.AbortStats(err); ok {
+		fmt.Fprint(os.Stderr, "-- partial plan statistics at abort --\n"+st)
+	}
 	os.Exit(1)
 }

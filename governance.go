@@ -1,0 +1,121 @@
+package blossomtree
+
+import (
+	"context"
+	"time"
+
+	"blossomtree/internal/gov"
+)
+
+// Query governance: every evaluation can carry a context.Context (for
+// cancellation and deadlines) and a Budget (for resource bounds). The
+// operators check both cooperatively with amortized polling, so
+// governance costs nothing measurable on the hot path; a violation
+// aborts the query with one of the typed errors below, carrying the
+// partial per-operator statistics recorded up to the abort (see
+// AbortStats).
+
+// Typed causes of a governed abort, tested with errors.Is.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = gov.ErrCanceled
+	// ErrBudgetExceeded reports that the query exceeded its Budget or
+	// its deadline.
+	ErrBudgetExceeded = gov.ErrBudgetExceeded
+)
+
+// Budget bounds one query evaluation. Zero values mean unlimited.
+type Budget struct {
+	// MaxNodes caps the document/index nodes the physical operators may
+	// scan (the engine's I/O proxy).
+	MaxNodes int64
+	// MaxOutput caps the result tuples the query may produce.
+	MaxOutput int64
+	// Timeout caps wall-clock evaluation time. It composes with any
+	// context deadline; whichever expires first aborts the query.
+	Timeout time.Duration
+}
+
+func (b Budget) toGov() gov.Budget {
+	return gov.Budget{MaxNodes: b.MaxNodes, MaxOutput: b.MaxOutput, Timeout: b.Timeout}
+}
+
+// AbortStats returns the partial EXPLAIN ANALYZE recorded up to a
+// governed abort: the per-operator statistics tree (actual nodes
+// scanned, instances emitted, comparisons per operator) of the aborted
+// plan, rendered like Result.ExplainAnalyze. The second return is false
+// when err is not a governed abort or the abort happened before any
+// operator ran.
+func AbortStats(err error) (string, bool) {
+	st, ok := gov.StatsOf(err)
+	if !ok {
+		return "", false
+	}
+	return st.Render(true), true
+}
+
+// QueryContext evaluates a query with the Auto strategy under a
+// context: cancellation or deadline expiry aborts the evaluation
+// mid-operator with ErrCanceled / ErrBudgetExceeded. An already-canceled
+// context returns ErrCanceled before anything is scanned.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return e.QueryWithContext(ctx, src, Options{})
+}
+
+// QueryWithContext evaluates a query with explicit options under a
+// context.
+func (e *Engine) QueryWithContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	popts, err := opts.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	popts.Ctx = ctx
+	res, err := e.inner.EvalOptions(src, popts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
+
+// QueryBatchContext is QueryBatch under a context shared by every query
+// of the batch: canceling it aborts the in-flight evaluations and makes
+// the remaining ones return ErrCanceled immediately. Each query gets
+// its own Budget accounting.
+func (e *Engine) QueryBatchContext(ctx context.Context, srcs []string, opts Options, workers int) ([]BatchResult, error) {
+	popts, err := opts.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	popts.Ctx = ctx
+	raw := e.inner.EvalBatch(srcs, popts, workers)
+	out := make([]BatchResult, len(raw))
+	for i, r := range raw {
+		out[i] = BatchResult{Query: r.Query, Err: r.Err}
+		if r.Result != nil {
+			out[i].Result = newResult(r.Result)
+		}
+	}
+	return out, nil
+}
+
+// QueryAllDocumentsContext is QueryAllDocuments under a context shared
+// by every per-document evaluation.
+func (e *Engine) QueryAllDocumentsContext(ctx context.Context, src string, opts Options, workers int) ([]DocumentResult, error) {
+	popts, err := opts.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	popts.Ctx = ctx
+	raw, err := e.inner.EvalAllDocs(src, popts, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DocumentResult, len(raw))
+	for i, r := range raw {
+		out[i] = DocumentResult{URI: r.URI, Err: r.Err}
+		if r.Result != nil {
+			out[i].Result = newResult(r.Result)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package blossomtree
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newBigEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine()
+	src := "<r>" + strings.Repeat("<a><b><c/></b><b/><c/></a>", 200) + "</r>"
+	if err := e.LoadString("g.xml", src); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQueryContextCanceled(t *testing.T) {
+	e := newBigEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryContext(ctx, `//a//c`); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("QueryContext = %v, want ErrCanceled", err)
+	}
+}
+
+func TestQueryContextDeadline(t *testing.T) {
+	e := newBigEngine(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.QueryContext(ctx, `//a//c`); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("QueryContext = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestQueryBudgetAbortWithStats(t *testing.T) {
+	e := newBigEngine(t)
+	_, err := e.QueryWith(`//a//c`, Options{Budget: Budget{MaxNodes: 20}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("QueryWith = %v, want ErrBudgetExceeded", err)
+	}
+	st, ok := AbortStats(err)
+	if !ok {
+		t.Fatal("AbortStats found no partial statistics on the abort")
+	}
+	if !strings.Contains(st, "NoKScan") && !strings.Contains(st, "Join") {
+		t.Errorf("partial stats do not look like a plan tree:\n%s", st)
+	}
+	// A successful query is unaffected and AbortStats rejects its nil error.
+	res, err := e.QueryWith(`//a//c`, Options{Budget: Budget{MaxNodes: 10_000_000}})
+	if err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no results under a generous budget")
+	}
+	if _, ok := AbortStats(nil); ok {
+		t.Error("AbortStats(nil) reported stats")
+	}
+}
+
+func TestQueryBudgetTimeout(t *testing.T) {
+	e := newBigEngine(t)
+	_, err := e.QueryWith(`//a//c`, Options{Budget: Budget{Timeout: time.Nanosecond}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("QueryWith = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestQueryMaxOutput(t *testing.T) {
+	e := newBigEngine(t)
+	_, err := e.QueryWith(`//a//c`, Options{Budget: Budget{MaxOutput: 5}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("QueryWith = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestQueryBatchContextCanceled(t *testing.T) {
+	e := newBigEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := e.QueryBatchContext(ctx, []string{`//a//c`, `//a//b`}, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Errorf("query %q: err = %v, want ErrCanceled", r.Query, r.Err)
+		}
+	}
+}
+
+func TestQueryAllDocumentsContext(t *testing.T) {
+	e := newBigEngine(t)
+	if err := e.LoadString("h.xml", `<r><a><c/></a></r>`); err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.QueryAllDocumentsContext(context.Background(), `//a//c`, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("doc %s: %v", r.URI, r.Err)
+		}
+	}
+}

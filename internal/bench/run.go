@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"blossomtree/internal/core"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/index"
 	"blossomtree/internal/naveval"
 	"blossomtree/internal/plan"
@@ -92,11 +95,13 @@ func (c Cell) String() string {
 	}
 }
 
-// RunCell evaluates one query under one system with a DNF timeout.
+// RunCell evaluates one query under one system with a DNF timeout,
+// enforced by the query governor: a cell that exhausts its wall-clock
+// budget aborts mid-operator and is reported as DNF rather than an
+// error, matching the paper's "did not finish" cutoff.
 func RunCell(ds *Dataset, q Query, sys System, timeout time.Duration) Cell {
 	cell := Cell{Dataset: ds.ID, Query: q.ID, System: sys}
-	deadline := time.Now().Add(timeout)
-	stop := func() bool { return time.Now().After(deadline) }
+	budget := gov.Budget{Timeout: timeout}
 
 	path, err := xpath.Parse(q.Text)
 	if err != nil {
@@ -107,32 +112,33 @@ func RunCell(ds *Dataset, q Query, sys System, timeout time.Duration) Cell {
 	var n int
 	switch sys {
 	case XH:
-		n, err = runNavigational(ds, path, stop)
+		n, err = runNavigational(ds, path, budget)
 	default:
-		n, err = runPlanned(ds, path, sys, stop)
+		n, err = runPlanned(ds, path, sys, budget)
 	}
 	cell.Elapsed = time.Since(start)
 	if err != nil {
+		if errors.Is(err, gov.ErrBudgetExceeded) || errors.Is(err, gov.ErrCanceled) {
+			cell.DNF = true
+			return cell
+		}
 		cell.Err = err
-		return cell
-	}
-	if stop() {
-		cell.DNF = true
 		return cell
 	}
 	cell.Results = n
 	return cell
 }
 
-// runNavigational measures the XH stand-in. The navigational evaluator
-// has no internal cancellation; queries at benchmark scale complete in
-// bounded time and the deadline is checked afterwards.
-func runNavigational(ds *Dataset, path *xpath.Path, stop func() bool) (int, error) {
-	res, err := naveval.EvalPath(ds.Doc, path)
+// runNavigational measures the XH stand-in under the same governed
+// deadline as the planned systems: the step evaluator polls the
+// governor per axis step, so an over-budget navigational cell aborts
+// mid-walk instead of running to completion.
+func runNavigational(ds *Dataset, path *xpath.Path, budget gov.Budget) (int, error) {
+	g := gov.New(context.Background(), budget, nil)
+	res, err := naveval.EvalPathGov(naveval.SingleDoc(ds.Doc), nil, path, g)
 	if err != nil {
 		return 0, err
 	}
-	_ = stop
 	return len(res), nil
 }
 
@@ -140,12 +146,12 @@ func runNavigational(ds *Dataset, path *xpath.Path, stop func() bool) (int, erro
 // PL and NL run index-free (the paper: the pipelined join "does not rely
 // on indexes, thus it resembles a sequential scan operator"); TS gets
 // the tag index it requires.
-func runPlanned(ds *Dataset, path *xpath.Path, sys System, stop func() bool) (int, error) {
+func runPlanned(ds *Dataset, path *xpath.Path, sys System, budget gov.Budget) (int, error) {
 	q, err := core.FromPath(path)
 	if err != nil {
 		return 0, err
 	}
-	opts := plan.Options{Stats: ds.Stats, Stop: stop}
+	opts := plan.Options{Stats: ds.Stats, Budget: budget}
 	switch sys {
 	case TS:
 		opts.Strategy = plan.Twig

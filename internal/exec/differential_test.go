@@ -44,13 +44,13 @@ func differentialDocs() []*xmltree.Document {
 	var docs []*xmltree.Document
 	for seed := int64(1); seed <= 6; seed++ {
 		r := rand.New(rand.NewSource(seed))
-		docs = append(docs, xmlgen.Random(r, xmlgen.RandomSpec{
+		docs = append(docs, xmlgen.MustRandom(r, xmlgen.RandomSpec{
 			Tags: []string{"a", "b", "c"}, MaxNodes: 60, MaxDepth: 6,
 		}))
 	}
 	for seed := int64(101); seed <= 104; seed++ {
 		r := rand.New(rand.NewSource(seed))
-		docs = append(docs, xmlgen.Random(r, xmlgen.RandomSpec{
+		docs = append(docs, xmlgen.MustRandom(r, xmlgen.RandomSpec{
 			Tags: []string{"a", "b", "c", "d", "e"}, MaxNodes: 150, MaxDepth: 8,
 		}))
 	}
@@ -193,7 +193,7 @@ func TestDifferentialAllStrategies(t *testing.T) {
 // instance plus the exhausting nil).
 func TestDifferentialExplainAnalyzeConsistency(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
-	doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 80, MaxDepth: 6})
+	doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 80, MaxDepth: 6})
 	stats := xmltree.ComputeStats(doc)
 	e := New()
 	e.Add("d", doc)

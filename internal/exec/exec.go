@@ -12,7 +12,9 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,7 @@ import (
 
 	"blossomtree/internal/core"
 	"blossomtree/internal/flwor"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/index"
 	"blossomtree/internal/naveval"
 	"blossomtree/internal/nestedlist"
@@ -200,6 +203,12 @@ func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
 // a concurrent Add cannot change the catalog mid-evaluation. Engine-wide
 // metrics in obs.Default are updated once per evaluation (counter adds
 // are atomic, so concurrent evaluations aggregate safely).
+//
+// It is the executor's governance boundary: the query governor is
+// created here (an already-canceled context returns gov.ErrCanceled
+// before anything is compiled or scanned), governance aborts are
+// counted, and any panic escaping an operator is recovered into an
+// error so one bad query cannot crash a batch worker.
 func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err error) {
 	t0 := time.Now()
 	defer func() {
@@ -207,12 +216,30 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err
 		obs.Default.Add(obs.MetricQueryNanos, time.Since(t0).Nanoseconds())
 		if err != nil {
 			obs.Default.Add(obs.MetricQueryErrors, 1)
+			if errors.Is(err, gov.ErrCanceled) || errors.Is(err, gov.ErrBudgetExceeded) {
+				obs.Default.Add(obs.MetricQueryAborts, 1)
+			}
 		} else if res != nil && res.Plan != nil {
 			recordPlanMetrics(res.Plan)
 		}
 	}()
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("exec: evaluation panicked: %v\n%s", r, debug.Stack())
+			obs.Default.Add(obs.MetricQueryPanics, 1)
+		}
+	}()
+	g := opts.Gov
+	if g == nil {
+		g = gov.New(opts.Ctx, opts.Budget, opts.Fault)
+		opts.Gov = g
+	}
+	if err := g.CheckNow(); err != nil {
+		return nil, err
+	}
 	if opts.Strategy == plan.Navigational {
-		return evalNavigational(s, expr)
+		return evalNavigational(s, expr, g)
 	}
 	q, isPath, err := compile(expr)
 	if err != nil {
@@ -241,7 +268,7 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err
 		res.Nodes = projectPathResult(q, instances)
 		return res, nil
 	}
-	if err := finishFLWOR(s, expr, q, res); err != nil {
+	if err := finishFLWOR(s, expr, q, res, g); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -398,8 +425,10 @@ func projectPathResult(q *core.Query, ls []*nestedlist.List) []*xmltree.Node {
 
 // finishFLWOR turns instances into environment rows, applies residual
 // conditions, restores iteration order, applies order by, and constructs
-// the output document.
-func finishFLWOR(s *snapshot, expr flwor.Expr, q *core.Query, res *Result) error {
+// the output document. Residual-condition and order-by path evaluation
+// run under the query's governor, so a pathological residual cannot
+// escape the budget the operators honored.
+func finishFLWOR(s *snapshot, expr flwor.Expr, q *core.Query, res *Result, g *gov.Governor) error {
 	f, err := topFLWOR(expr)
 	if err != nil {
 		return err
@@ -423,7 +452,7 @@ func finishFLWOR(s *snapshot, expr flwor.Expr, q *core.Query, res *Result) error
 		for _, env := range envs {
 			ok := true
 			for _, c := range q.Residual {
-				v, err := naveval.EvalCond(s.resolve, env, c)
+				v, err := naveval.EvalCondGov(s.resolve, env, c, g)
 				if err != nil {
 					return err
 				}
@@ -465,7 +494,7 @@ func finishFLWOR(s *snapshot, expr flwor.Expr, q *core.Query, res *Result) error
 	if f.OrderBy != nil {
 		keys := make([]string, len(envs))
 		for i, env := range envs {
-			ns, err := naveval.EvalPathEnv(s.resolve, env, f.OrderBy)
+			ns, err := naveval.EvalPathGov(s.resolve, env, f.OrderBy, g)
 			if err != nil {
 				return err
 			}
@@ -527,8 +556,10 @@ func dedupEnvs(envs []naveval.Env, forVars []string) []naveval.Env {
 }
 
 // evalNavigational runs the whole query through the navigational
-// evaluator (the XH stand-in).
-func evalNavigational(s *snapshot, expr flwor.Expr) (*Result, error) {
+// evaluator (the XH stand-in) under the query's governor. The output
+// budget is charged on the materialized rows (the navigational oracle
+// has no pull-based root to meter).
+func evalNavigational(s *snapshot, expr flwor.Expr, g *gov.Governor) (*Result, error) {
 	if pe, ok := expr.(*flwor.PathExpr); ok {
 		// Resolve against the path's own document.
 		uri := ""
@@ -539,8 +570,11 @@ func evalNavigational(s *snapshot, expr flwor.Expr) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		nodes, err := naveval.EvalPath(doc, pe.Path)
+		nodes, err := naveval.EvalPathGov(naveval.SingleDoc(doc), nil, pe.Path, g)
 		if err != nil {
+			return nil, err
+		}
+		if err := g.Output(int64(len(nodes))); err != nil {
 			return nil, err
 		}
 		return &Result{Nodes: nodes}, nil
@@ -549,8 +583,11 @@ func evalNavigational(s *snapshot, expr flwor.Expr) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	envs, err := naveval.EvalFLWOR(s.resolve, f)
+	envs, err := naveval.EvalFLWORGov(s.resolve, f, g)
 	if err != nil {
+		return nil, err
+	}
+	if err := g.Output(int64(len(envs))); err != nil {
 		return nil, err
 	}
 	res := &Result{Envs: envs}

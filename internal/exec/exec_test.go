@@ -274,7 +274,7 @@ func TestQuickEngineEqualsOracle(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c", "d"}, MaxNodes: 60, MaxDepth: 8, TextProb: -1})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c", "d"}, MaxNodes: 60, MaxDepth: 8, TextProb: -1})
 		recursive := xmltree.ComputeStats(doc).Recursive
 		q := queries[r.Intn(len(queries))]
 		want, err := naveval.EvalPath(doc, xpath.MustParse(q))
@@ -328,7 +328,7 @@ func TestQuickFLWOREqualsNavigational(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 40, MaxDepth: 6})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 40, MaxDepth: 6})
 		q := queries[r.Intn(len(queries))]
 		e := New()
 		e.Add("d", doc)

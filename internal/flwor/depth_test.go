@@ -1,0 +1,45 @@
+package flwor
+
+import (
+	"strings"
+	"testing"
+
+	"blossomtree/internal/xpath"
+)
+
+// TestParseDepthBounded covers the FLWOR-specific recursion cycles:
+// nested element constructors, nested FLWORs in return clauses, and
+// parenthesized where-conditions. Each attack input must fail with the
+// shared nesting-bound error instead of exhausting the stack.
+func TestParseDepthBounded(t *testing.T) {
+	n := 4 * xpath.MaxDepth
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"nested constructors", strings.Repeat("<a>", n)},
+		{"nested flwors", strings.Repeat("for $x in //a return ", n)},
+		{"where parens", "for $x in //a where " + strings.Repeat("(", n)},
+		{"where not chains", "for $x in //a where " + strings.Repeat("not(", n)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("deeply nested input parsed without error")
+			}
+			if !strings.Contains(err.Error(), "nesting") {
+				t.Fatalf("expected the nesting-bound error, got: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseDeepButLegal checks well-formed nesting below the bound.
+func TestParseDeepButLegal(t *testing.T) {
+	d := xpath.MaxDepth / 4
+	src := strings.Repeat("<a>", d) + "{ //b }" + strings.Repeat("</a>", d)
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("legal constructor nesting at depth %d rejected: %v", d, err)
+	}
+}

@@ -1,6 +1,11 @@
 package flwor
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"blossomtree/internal/xpath"
+)
 
 // FuzzFLWORParse asserts the parser never panics on arbitrary input and
 // that every accepted expression round-trips: parse → String → parse
@@ -19,6 +24,10 @@ func FuzzFLWORParse(f *testing.F) {
 	} {
 		f.Add(seed)
 	}
+	// Depth-bound seeds: nesting past xpath.MaxDepth must be rejected,
+	// not overflow the stack (see depth_test.go).
+	f.Add(strings.Repeat("<a>", xpath.MaxDepth+8))
+	f.Add(strings.Repeat("for $x in //a return ", xpath.MaxDepth+8))
 	f.Fuzz(func(t *testing.T, src string) {
 		e, err := Parse(src)
 		if err != nil {

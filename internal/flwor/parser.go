@@ -29,7 +29,13 @@ func MustParse(src string) Expr {
 	return e
 }
 
+// parseExpr carries a MaxDepth guard: nested FLWORs (a for inside a
+// return clause) and braced sequences recurse through here.
 func parseExpr(l *xpath.Lexer) Expr {
+	if !l.Enter() {
+		return &PathExpr{Path: &xpath.Path{}}
+	}
+	defer l.Leave()
 	switch tok := l.Tok(); {
 	case tok.Kind == xpath.TokLt:
 		return parseCtor(l)
@@ -49,6 +55,12 @@ func parseExpr(l *xpath.Lexer) Expr {
 // paper's queries only embed evaluated expressions), so anything other
 // than a nested constructor or a braced expression is an error.
 func parseCtor(l *xpath.Lexer) Expr {
+	// Guarded separately from parseExpr: nested element constructors
+	// recurse here directly, without passing through parseExpr.
+	if !l.Enter() {
+		return &ElemCtor{}
+	}
+	defer l.Leave()
 	if !expect(l, xpath.TokLt) {
 		return &ElemCtor{}
 	}
@@ -199,7 +211,14 @@ func checkClausePath(p *xpath.Path, bound map[string]bool) error {
 	return nil
 }
 
+// parseCondOr heads the where-condition recursion cycle (parentheses
+// and not(…) recurse through parseCondUnary), so it carries the
+// MaxDepth guard for conditions.
 func parseCondOr(l *xpath.Lexer) Cond {
+	if !l.Enter() {
+		return CondExists{}
+	}
+	defer l.Leave()
 	c := parseCondAnd(l)
 	for l.Tok().Kind == xpath.TokName && l.Tok().Text == "or" {
 		l.Advance()

@@ -8,6 +8,8 @@ package index
 import (
 	"sort"
 
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
@@ -80,6 +82,11 @@ type Stream struct {
 	// Stats, when non-nil, counts every cursor advance (including the
 	// positions a SkipTo jumps over) as scanned nodes.
 	Stats *obs.OpStats
+	// Gov, when non-nil, charges every cursor advance against the
+	// query's node budget. Advance cannot return an error, so a
+	// violation only becomes sticky in the governor; the consuming
+	// operator (TwigStack) observes it at its next poll and aborts.
+	Gov *gov.Governor
 }
 
 // NewStream returns a cursor over nodes, which must be in document order.
@@ -104,6 +111,7 @@ func (s *Stream) Advance() {
 	if s.pos < len(s.nodes) {
 		s.pos++
 		s.Stats.AddScanned(1)
+		_ = s.Gov.Scanned(fault.SiteIndexStream, 1)
 	}
 }
 
@@ -136,5 +144,6 @@ func (s *Stream) SkipTo(start int) {
 		}
 	}
 	s.Stats.AddScanned(int64(lo - s.pos))
+	_ = s.Gov.Scanned(fault.SiteIndexStream, int64(lo-s.pos))
 	s.pos = lo
 }

@@ -1,6 +1,8 @@
 package join
 
 import (
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/nok"
 	"blossomtree/internal/obs"
@@ -24,6 +26,11 @@ type BoundedNLJoin struct {
 	// Stop, when non-nil, is polled per outer instance; returning true
 	// ends the stream early.
 	Stop func() bool
+	// Gov, when non-nil, governs the inner bounded scans (their node
+	// visits charge the query's node budget through the inner iterators)
+	// and fires emission faults; a violation sets Err and ends the
+	// stream.
+	Gov *gov.Governor
 
 	// Stats, when non-nil, receives the inner scans' node visits and
 	// the per-inner containment/dedup tests for EXPLAIN ANALYZE.
@@ -46,6 +53,10 @@ func (j *BoundedNLJoin) GetNext() *nestedlist.List {
 		if len(j.queue) > 0 {
 			l := j.queue[0]
 			j.queue = j.queue[1:]
+			if err := j.Gov.Emitted(fault.SiteBoundedNL); err != nil {
+				j.Err = err
+				return nil
+			}
 			return l
 		}
 		if j.done {
@@ -82,6 +93,7 @@ func (j *BoundedNLJoin) joinOne(m *nestedlist.List) {
 	for _, a := range outerNodes {
 		it := nok.NewSubtreeIterator(j.Inner, a)
 		it.Stop = j.Stop
+		it.Gov = j.Gov
 		local := map[int]int{}
 		for n := it.GetNext(); n != nil; n = it.GetNext() {
 			j.Stats.AddComparisons(1)
@@ -121,6 +133,10 @@ func (j *BoundedNLJoin) joinOne(m *nestedlist.List) {
 		}
 		j.ScannedNodes += it.ScannedNodes
 		j.Stats.AddScanned(int64(it.ScannedNodes))
+		if it.Err != nil {
+			j.Err = it.Err
+			return
+		}
 	}
 	if len(batch) > 0 {
 		inner, err := nestedlist.MergeBalanced(batch)

@@ -1,0 +1,74 @@
+package join
+
+import (
+	"errors"
+	"testing"
+
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
+	"blossomtree/internal/index"
+)
+
+// TestStackJoinGovFaults injects faults at the first, middle, and last
+// emission of the binary structural join and checks the partial output
+// produced up to the fault is a prefix of the clean result.
+func TestStackJoinGovFaults(t *testing.T) {
+	doc := parse(t, `<r><a><a><b/><b/></a><b/></a><a><b/></a></r>`)
+	ix := index.Build(doc)
+	ancs, descs := ix.Nodes("a"), ix.Nodes("b")
+	clean, err := StackJoinGov(ancs, descs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(clean))
+	if total < 3 {
+		t.Fatalf("need at least 3 pairs, got %d", total)
+	}
+	boom := errors.New("boom")
+	// The upfront input charge occupies site hit 1, so emission j is
+	// hit j+1.
+	for _, emit := range []int64{1, total / 2, total} {
+		inj := fault.New().FailAt(fault.SiteStackJoin, emit+1, boom)
+		g := gov.New(nil, gov.Budget{}, inj)
+		out, err := StackJoinGov(ancs, descs, nil, g)
+		if !errors.Is(err, boom) {
+			t.Fatalf("fault at emission %d: err = %v, want boom", emit, err)
+		}
+		if int64(len(out)) != emit-1 {
+			t.Errorf("fault at emission %d: partial output %d pairs, want %d", emit, len(out), emit-1)
+		}
+		for i, p := range out {
+			if p != clean[i] {
+				t.Errorf("partial output diverges from clean result at pair %d", i)
+				break
+			}
+		}
+	}
+}
+
+// TestStackJoinGovNodeBudget aborts the structural join on its upfront
+// input charge.
+func TestStackJoinGovNodeBudget(t *testing.T) {
+	doc := parse(t, `<r><a><a><b/><b/></a><b/></a><a><b/></a></r>`)
+	ix := index.Build(doc)
+	g := gov.New(nil, gov.Budget{MaxNodes: 2}, nil)
+	_, err := StackJoinGov(ix.Nodes("a"), ix.Nodes("b"), nil, g)
+	if !errors.Is(err, gov.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestStackJoinGovNilGovernor checks the ungoverned path matches
+// StackJoin exactly.
+func TestStackJoinGovNilGovernor(t *testing.T) {
+	doc := parse(t, `<r><a><a><b/><b/></a><b/></a></r>`)
+	ix := index.Build(doc)
+	want := StackJoin(ix.Nodes("a"), ix.Nodes("b"))
+	got, err := StackJoinGov(ix.Nodes("a"), ix.Nodes("b"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("governed nil-path: %d pairs, want %d", len(got), len(want))
+	}
+}

@@ -325,7 +325,7 @@ func TestQuickBNLJOnRecursiveDocs(t *testing.T) {
 	queries := []string{`//a//b`, `//a//a`, `//b[//a]`}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 50, MaxDepth: 8, TextProb: -1})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 50, MaxDepth: 8, TextProb: -1})
 		query := queries[r.Intn(len(queries))]
 		wantList, err := naveval.EvalPath(doc, xpath.MustParse(query))
 		if err != nil {
@@ -379,7 +379,7 @@ func TestStackJoin(t *testing.T) {
 func TestQuickStackJoinEqualsBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: []string{"a", "b"}, MaxNodes: 60, MaxDepth: 10, TextProb: -1})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b"}, MaxNodes: 60, MaxDepth: 10, TextProb: -1})
 		ix := index.Build(doc)
 		ancs, descs := ix.Nodes("a"), ix.Nodes("b")
 		got := StackJoin(ancs, descs)
@@ -484,7 +484,7 @@ func TestQuickTwigStackEqualsOracle(t *testing.T) {
 	queries := []string{`//a//b`, `//a//b//c`, `//a[//b]//c`, `//a[//b][//c]`, `//a//a`, `//b[//a//c]`, `//a/b`, `//a/b//c`}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 50, MaxDepth: 8, TextProb: -1})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 50, MaxDepth: 8, TextProb: -1})
 		query := queries[r.Intn(len(queries))]
 		ix := index.Build(doc)
 		q, err := core.FromPath(xpath.MustParse(query))

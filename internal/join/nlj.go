@@ -2,6 +2,8 @@ package join
 
 import (
 	"blossomtree/internal/core"
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
@@ -40,6 +42,9 @@ type NestedLoopJoin struct {
 	// Stop, when non-nil, is polled per outer row; returning true ends
 	// the stream early.
 	Stop func() bool
+	// Gov, when non-nil, polls cancellation per pair test and fires
+	// emission faults; a violation sets Err and ends the stream.
+	Gov *gov.Governor
 
 	// Stats, when non-nil, counts predicate evaluations (the pair tests
 	// of the quadratic loop) for EXPLAIN ANALYZE.
@@ -70,6 +75,10 @@ func (j *NestedLoopJoin) GetNext() *nestedlist.List {
 			m, n := j.outer[j.oi], j.inner[j.ii]
 			j.ii++
 			j.Stats.AddComparisons(1)
+			if err := j.Gov.Poll(); err != nil {
+				j.Err = err
+				return nil
+			}
 			ok, err := j.Pred(m, n)
 			if err != nil {
 				j.Err = err
@@ -80,6 +89,10 @@ func (j *NestedLoopJoin) GetNext() *nestedlist.List {
 			}
 			merged, err := nestedlist.Merge(m, n)
 			if err != nil {
+				j.Err = err
+				return nil
+			}
+			if err := j.Gov.Emitted(fault.SiteNestedLoop); err != nil {
 				j.Err = err
 				return nil
 			}

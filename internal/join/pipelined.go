@@ -1,6 +1,8 @@
 package join
 
 import (
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
@@ -33,6 +35,9 @@ type PipelinedDescJoin struct {
 	// Stats, when non-nil, accumulates containment-test counts for
 	// EXPLAIN ANALYZE (the merge's comparison work).
 	Stats *obs.OpStats
+	// Gov, when non-nil, polls cancellation as the merge advances and
+	// fires emission faults; a violation sets Err and ends the stream.
+	Gov *gov.Governor
 
 	m       *nestedlist.List // current outer instance
 	mHi     int              // max end of the outer slot's region
@@ -56,6 +61,10 @@ func (j *PipelinedDescJoin) GetNext() *nestedlist.List {
 		j.n = j.Inner.GetNext()
 	}
 	for {
+		if err := j.Gov.Poll(); err != nil {
+			j.fail(err)
+			return nil
+		}
 		if j.m == nil {
 			j.done = true
 			return nil
@@ -102,6 +111,10 @@ func (j *PipelinedDescJoin) GetNext() *nestedlist.List {
 			}
 			j.matched = true
 			j.n = j.Inner.GetNext()
+			if err := j.Gov.Emitted(fault.SitePipelined); err != nil {
+				j.fail(err)
+				return nil
+			}
 			return merged
 		}
 		// Existential grouping: absorb every inner whose node falls in
@@ -157,6 +170,10 @@ func (j *PipelinedDescJoin) GetNext() *nestedlist.List {
 			}
 			acc = pruned
 		}
+		if err := j.Gov.Emitted(fault.SitePipelined); err != nil {
+			j.fail(err)
+			return nil
+		}
 		return acc
 	}
 }
@@ -168,6 +185,10 @@ func (j *PipelinedDescJoin) flushOuter() *nestedlist.List {
 	m, wasMatched := j.m, j.matched
 	j.advanceOuter()
 	if m != nil && !wasMatched && j.Optional {
+		if err := j.Gov.Emitted(fault.SitePipelined); err != nil {
+			j.fail(err)
+			return nil
+		}
 		return m
 	}
 	return nil

@@ -1,6 +1,8 @@
 package join
 
 import (
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
 )
@@ -24,11 +26,27 @@ func StackJoin(ancs, descs []*xmltree.Node) []AncDescPair {
 // containment test as a comparison, the stack's high-water mark, and
 // the emitted pair count.
 func StackJoinStats(ancs, descs []*xmltree.Node, stats *obs.OpStats) []AncDescPair {
+	out, _ := StackJoinGov(ancs, descs, stats, nil)
+	return out
+}
+
+// StackJoinGov is the governed structural join: the input lists charge
+// the query's node budget, every emitted pair is a fault point, and a
+// governance violation aborts the merge, returning the pairs emitted so
+// far alongside the typed error.
+func StackJoinGov(ancs, descs []*xmltree.Node, stats *obs.OpStats, g *gov.Governor) ([]AncDescPair, error) {
 	stats.AddScanned(int64(len(ancs) + len(descs)))
+	if err := g.Scanned(fault.SiteStackJoin, int64(len(ancs)+len(descs))); err != nil {
+		return nil, err
+	}
 	var out []AncDescPair
 	var stack []*xmltree.Node
 	ai := 0
 	for _, d := range descs {
+		if err := g.Poll(); err != nil {
+			stats.AddEmitted(int64(len(out)))
+			return out, err
+		}
 		// Pop ancestors that end before d starts.
 		for len(stack) > 0 && stack[len(stack)-1].End < d.Start {
 			stack = stack[:len(stack)-1]
@@ -50,12 +68,16 @@ func StackJoinStats(ancs, descs []*xmltree.Node, stats *obs.OpStats) []AncDescPa
 		for _, a := range stack {
 			stats.AddComparisons(1)
 			if a != d && a.IsAncestorOf(d) {
+				if err := g.Emitted(fault.SiteStackJoin); err != nil {
+					stats.AddEmitted(int64(len(out)))
+					return out, err
+				}
 				out = append(out, AncDescPair{Anc: a, Desc: d})
 			}
 		}
 	}
 	stats.AddEmitted(int64(len(out)))
-	return out
+	return out, nil
 }
 
 // StackJoinAnc emits only the distinct ancestors that contain at least

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"blossomtree/internal/core"
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/index"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
@@ -44,6 +46,11 @@ type TwigStack struct {
 	// Stop, when non-nil, is polled periodically; returning true aborts
 	// the run with ErrStopped.
 	Stop func() bool
+	// Gov, when non-nil, charges stream advances against the query's
+	// node budget (through the per-vertex index streams), polls
+	// cancellation alongside Stop, and fires a fault per emitted path
+	// solution; a violation aborts Run with the typed error.
+	Gov *gov.Governor
 	// Keep lists the vertices whose bindings the caller needs (returning
 	// variables). When set, the merge phase projects intermediate
 	// matches onto Keep plus the vertices still required by later path
@@ -126,13 +133,15 @@ type pathSolution []*xmltree.Node
 
 // pathStack runs the PathStack algorithm over one root-to-leaf chain
 // and returns all its path solutions (each a containment chain
-// node₀ ≻ node₁ ≻ … ≻ nodeₗ).
-func (ts *TwigStack) pathStack(path []*core.Vertex) []pathSolution {
+// node₀ ≻ node₁ ≻ … ≻ nodeₗ). A governance violation aborts it with
+// the typed error.
+func (ts *TwigStack) pathStack(path []*core.Vertex) ([]pathSolution, error) {
 	k := len(path)
 	streams := make([]*index.Stream, k)
 	for i, v := range path {
 		streams[i] = index.NewStream(ts.stream(v))
 		streams[i].Stats = ts.Stats
+		streams[i].Gov = ts.Gov
 	}
 	stacks := make([][]tsEntry, k)
 	var solutions []pathSolution
@@ -144,6 +153,9 @@ func (ts *TwigStack) pathStack(path []*core.Vertex) []pathSolution {
 			sol := make(pathSolution, len(suffix))
 			copy(sol, suffix)
 			solutions = append(solutions, sol)
+			// A fired fault or exhausted budget becomes sticky in the
+			// governor; the main loop aborts at its next check.
+			_ = ts.Gov.Emitted(fault.SiteTwigStack)
 			return
 		}
 		for idx := 0; idx <= upTo && idx < len(stacks[level]); idx++ {
@@ -162,7 +174,10 @@ func (ts *TwigStack) pathStack(path []*core.Vertex) []pathSolution {
 	for !streams[leaf].EOF() {
 		steps++
 		if ts.Stop != nil && steps%1024 == 0 && ts.Stop() {
-			return nil
+			return nil, ErrStopped
+		}
+		if err := ts.Gov.Poll(); err != nil {
+			return nil, err
 		}
 		// qmin: the non-exhausted stream with the smallest head.
 		qmin := -1
@@ -196,11 +211,14 @@ func (ts *TwigStack) pathStack(path []*core.Vertex) []pathSolution {
 				e := stacks[leaf][len(stacks[leaf])-1]
 				expand(leaf-1, e.parentIdx, pathSolution{e.node})
 				stacks[leaf] = stacks[leaf][:len(stacks[leaf])-1]
+				if err := ts.Gov.Err(); err != nil {
+					return nil, err
+				}
 			}
 		}
 		streams[qmin].Advance()
 	}
-	return solutions
+	return solutions, ts.Gov.Err()
 }
 
 // Run evaluates the twig and returns its matches. With Keep unset every
@@ -218,7 +236,10 @@ func (ts *TwigStack) Run() ([]TwigMatch, error) {
 	// is containment-complete.
 	pathSols := make([][]pathSolution, len(ts.paths))
 	for i, p := range ts.paths {
-		raw := ts.pathStack(p)
+		raw, err := ts.pathStack(p)
+		if err != nil {
+			return nil, err
+		}
 		if ts.Stop != nil && ts.Stop() {
 			return nil, ErrStopped
 		}
@@ -314,6 +335,9 @@ func (ts *TwigStack) Run() ([]TwigMatch, error) {
 		for mi, m := range matches {
 			if ts.Stop != nil && mi%1024 == 0 && ts.Stop() {
 				return nil, ErrStopped
+			}
+			if err := ts.Gov.Poll(); err != nil {
+				return nil, err
 			}
 			pk := matchKey(m, path[:shared])
 			ts.Stats.AddComparisons(1)

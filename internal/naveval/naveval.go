@@ -13,6 +13,12 @@
 //     algebraic operators are compared against; and
 //   - the correctness oracle: property tests check the NoK matcher, the
 //     structural joins and the executor against its results.
+//
+// Evaluation is governed like the algebraic operators: the *Gov entry
+// points thread a gov.Governor through every step evaluation, charging
+// axis candidates against the query's node budget and polling
+// cancellation, so a runaway navigational query aborts with the same
+// typed errors the planned executor returns.
 package naveval
 
 import (
@@ -20,7 +26,9 @@ import (
 	"sort"
 	"strconv"
 
+	"blossomtree/internal/fault"
 	"blossomtree/internal/flwor"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/xmltree"
 	"blossomtree/internal/xpath"
 )
@@ -63,6 +71,14 @@ func (e Env) clone() Env {
 	return out
 }
 
+// evaluator carries the evaluation context every recursive helper
+// needs: the document resolver and the query's governor (nil when
+// ungoverned — every governor method is nil-safe).
+type evaluator struct {
+	resolve Resolver
+	gov     *gov.Governor
+}
+
 // EvalPath evaluates a path expression with no variable bindings.
 func EvalPath(doc *xmltree.Document, p *xpath.Path) ([]*xmltree.Node, error) {
 	return EvalPathEnv(SingleDoc(doc), nil, p)
@@ -71,16 +87,26 @@ func EvalPath(doc *xmltree.Document, p *xpath.Path) ([]*xmltree.Node, error) {
 // EvalPathEnv evaluates a path expression under variable bindings.
 // Results are distinct nodes in document order.
 func EvalPathEnv(resolve Resolver, env Env, p *xpath.Path) ([]*xmltree.Node, error) {
+	return EvalPathGov(resolve, env, p, nil)
+}
+
+// EvalPathGov is EvalPathEnv under a governor: step evaluation charges
+// the node budget and polls cancellation.
+func EvalPathGov(resolve Resolver, env Env, p *xpath.Path, g *gov.Governor) ([]*xmltree.Node, error) {
+	return (&evaluator{resolve: resolve, gov: g}).path(env, p)
+}
+
+func (ev *evaluator) path(env Env, p *xpath.Path) ([]*xmltree.Node, error) {
 	var ctx []*xmltree.Node
 	switch p.Source.Kind {
 	case xpath.SourceDoc:
-		doc, err := resolve(p.Source.Doc)
+		doc, err := ev.resolve(p.Source.Doc)
 		if err != nil {
 			return nil, err
 		}
 		ctx = []*xmltree.Node{doc.Root}
 	case xpath.SourceRoot:
-		doc, err := resolve("")
+		doc, err := ev.resolve("")
 		if err != nil {
 			return nil, err
 		}
@@ -94,16 +120,16 @@ func EvalPathEnv(resolve Resolver, env Env, p *xpath.Path) ([]*xmltree.Node, err
 	default:
 		return nil, fmt.Errorf("naveval: relative path %s has no context", p)
 	}
-	return evalSteps(resolve, env, ctx, p.Steps)
+	return ev.steps(env, ctx, p.Steps)
 }
 
-func evalSteps(resolve Resolver, env Env, ctx []*xmltree.Node, steps []xpath.Step) ([]*xmltree.Node, error) {
+func (ev *evaluator) steps(env Env, ctx []*xmltree.Node, steps []xpath.Step) ([]*xmltree.Node, error) {
 	cur := ctx
 	for _, st := range steps {
 		var next []*xmltree.Node
 		seen := make(map[*xmltree.Node]bool)
 		for _, c := range cur {
-			sel, err := evalStep(resolve, env, c, st)
+			sel, err := ev.step(env, c, st)
 			if err != nil {
 				return nil, err
 			}
@@ -120,10 +146,10 @@ func evalSteps(resolve Resolver, env Env, ctx []*xmltree.Node, steps []xpath.Ste
 	return cur, nil
 }
 
-// evalStep selects the step's axis candidates from one context node and
+// step selects the step's axis candidates from one context node and
 // filters them through the predicates with correct position() semantics
 // (1-based within this context node's candidate list).
-func evalStep(resolve Resolver, env Env, ctx *xmltree.Node, st xpath.Step) ([]*xmltree.Node, error) {
+func (ev *evaluator) step(env Env, ctx *xmltree.Node, st xpath.Step) ([]*xmltree.Node, error) {
 	var cands []*xmltree.Node
 	switch st.Axis {
 	case xpath.Child:
@@ -158,10 +184,16 @@ func evalStep(resolve Resolver, env Env, ctx *xmltree.Node, st xpath.Step) ([]*x
 	default:
 		return nil, fmt.Errorf("naveval: unsupported axis %v", st.Axis)
 	}
+	// Each per-context-node step is one governance point: the axis
+	// candidates charge the node budget, and the hit doubles as the
+	// navigational fault site.
+	if err := ev.gov.Scanned(fault.SiteNavStep, int64(len(cands))); err != nil {
+		return nil, err
+	}
 	for _, pred := range st.Preds {
 		var kept []*xmltree.Node
 		for i, n := range cands {
-			ok, err := evalPred(resolve, env, n, i+1, pred)
+			ok, err := ev.pred(env, n, i+1, pred)
 			if err != nil {
 				return nil, err
 			}
@@ -174,10 +206,10 @@ func evalStep(resolve Resolver, env Env, ctx *xmltree.Node, st xpath.Step) ([]*x
 	return cands, nil
 }
 
-func evalPred(resolve Resolver, env Env, n *xmltree.Node, pos int, e xpath.Expr) (bool, error) {
+func (ev *evaluator) pred(env Env, n *xmltree.Node, pos int, e xpath.Expr) (bool, error) {
 	switch t := e.(type) {
 	case xpath.Exists:
-		res, err := evalRelative(resolve, env, n, t.Path)
+		res, err := ev.relative(env, n, t.Path)
 		if err != nil {
 			return false, err
 		}
@@ -185,26 +217,26 @@ func evalPred(resolve Resolver, env Env, n *xmltree.Node, pos int, e xpath.Expr)
 	case xpath.Position:
 		return pos == t.N, nil
 	case xpath.And:
-		l, err := evalPred(resolve, env, n, pos, t.L)
+		l, err := ev.pred(env, n, pos, t.L)
 		if err != nil || !l {
 			return false, err
 		}
-		return evalPred(resolve, env, n, pos, t.R)
+		return ev.pred(env, n, pos, t.R)
 	case xpath.Or:
-		l, err := evalPred(resolve, env, n, pos, t.L)
+		l, err := ev.pred(env, n, pos, t.L)
 		if err != nil || l {
 			return l, err
 		}
-		return evalPred(resolve, env, n, pos, t.R)
+		return ev.pred(env, n, pos, t.R)
 	case xpath.Not:
-		v, err := evalPred(resolve, env, n, pos, t.E)
+		v, err := ev.pred(env, n, pos, t.E)
 		return !v, err
 	case xpath.Compare:
-		lv, err := operandValues(resolve, env, n, t.Left)
+		lv, err := ev.operandValues(env, n, t.Left)
 		if err != nil {
 			return false, err
 		}
-		rv, err := operandValues(resolve, env, n, t.Right)
+		rv, err := ev.operandValues(env, n, t.Right)
 		if err != nil {
 			return false, err
 		}
@@ -221,16 +253,16 @@ func evalPred(resolve Resolver, env Env, n *xmltree.Node, pos int, e xpath.Expr)
 	}
 }
 
-// evalRelative evaluates a relative path from a context node, handling
+// relative evaluates a relative path from a context node, handling
 // trailing attribute steps as attribute existence.
-func evalRelative(resolve Resolver, env Env, n *xmltree.Node, p *xpath.Path) ([]*xmltree.Node, error) {
+func (ev *evaluator) relative(env Env, n *xmltree.Node, p *xpath.Path) ([]*xmltree.Node, error) {
 	steps := p.Steps
 	attr := ""
 	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
 		attr = steps[k-1].Test
 		steps = steps[:k-1]
 	}
-	res, err := evalSteps(resolve, env, []*xmltree.Node{n}, steps)
+	res, err := ev.steps(env, []*xmltree.Node{n}, steps)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +281,7 @@ func evalRelative(resolve Resolver, env Env, n *xmltree.Node, p *xpath.Path) ([]
 // operandValues produces the comparison value list of an operand:
 // literals are singletons; paths yield the string-values of their result
 // nodes (attribute steps yield attribute values).
-func operandValues(resolve Resolver, env Env, n *xmltree.Node, o xpath.Operand) ([]string, error) {
+func (ev *evaluator) operandValues(env Env, n *xmltree.Node, o xpath.Operand) ([]string, error) {
 	switch o.Kind {
 	case xpath.OperandString:
 		return []string{o.Str}, nil
@@ -266,9 +298,9 @@ func operandValues(resolve Resolver, env Env, n *xmltree.Node, o xpath.Operand) 
 	var ctx []*xmltree.Node
 	var err error
 	if p.Source.Kind == xpath.SourceContext {
-		ctx, err = evalSteps(resolve, env, []*xmltree.Node{n}, steps)
+		ctx, err = ev.steps(env, []*xmltree.Node{n}, steps)
 	} else {
-		ctx, err = EvalPathEnv(resolve, env, &xpath.Path{Source: p.Source, Steps: steps})
+		ctx, err = ev.path(env, &xpath.Path{Source: p.Source, Steps: steps})
 	}
 	if err != nil {
 		return nil, err
@@ -294,34 +326,43 @@ func trimFloat(f float64) string {
 // EvalCond evaluates a where-clause condition under an environment (used
 // by the FLWOR loop here and for residual conditions by the executor).
 func EvalCond(resolve Resolver, env Env, c flwor.Cond) (bool, error) {
+	return EvalCondGov(resolve, env, c, nil)
+}
+
+// EvalCondGov is EvalCond under a governor.
+func EvalCondGov(resolve Resolver, env Env, c flwor.Cond, g *gov.Governor) (bool, error) {
+	return (&evaluator{resolve: resolve, gov: g}).cond(env, c)
+}
+
+func (ev *evaluator) cond(env Env, c flwor.Cond) (bool, error) {
 	switch t := c.(type) {
 	case flwor.CondAnd:
-		l, err := EvalCond(resolve, env, t.L)
+		l, err := ev.cond(env, t.L)
 		if err != nil || !l {
 			return false, err
 		}
-		return EvalCond(resolve, env, t.R)
+		return ev.cond(env, t.R)
 	case flwor.CondOr:
-		l, err := EvalCond(resolve, env, t.L)
+		l, err := ev.cond(env, t.L)
 		if err != nil || l {
 			return l, err
 		}
-		return EvalCond(resolve, env, t.R)
+		return ev.cond(env, t.R)
 	case flwor.CondNot:
-		v, err := EvalCond(resolve, env, t.C)
+		v, err := ev.cond(env, t.C)
 		return !v, err
 	case flwor.CondExists:
-		res, err := EvalPathEnv(resolve, env, t.Path)
+		res, err := ev.path(env, t.Path)
 		if err != nil {
 			return false, err
 		}
 		return len(res) > 0, nil
 	case flwor.CondDocOrder:
-		l, err := EvalPathEnv(resolve, env, t.Left)
+		l, err := ev.path(env, t.Left)
 		if err != nil {
 			return false, err
 		}
-		r, err := EvalPathEnv(resolve, env, t.Right)
+		r, err := ev.path(env, t.Right)
 		if err != nil {
 			return false, err
 		}
@@ -334,21 +375,21 @@ func EvalCond(resolve Resolver, env Env, c flwor.Cond) (bool, error) {
 		}
 		return false, nil
 	case flwor.CondDeepEqual:
-		l, err := EvalPathEnv(resolve, env, t.Left)
+		l, err := ev.path(env, t.Left)
 		if err != nil {
 			return false, err
 		}
-		r, err := EvalPathEnv(resolve, env, t.Right)
+		r, err := ev.path(env, t.Right)
 		if err != nil {
 			return false, err
 		}
 		return xmltree.DeepEqualSeq(l, r), nil
 	case flwor.CondCmp:
-		lv, err := condOperandValues(resolve, env, t.Left)
+		lv, err := ev.condOperandValues(env, t.Left)
 		if err != nil {
 			return false, err
 		}
-		rv, err := condOperandValues(resolve, env, t.Right)
+		rv, err := ev.condOperandValues(env, t.Right)
 		if err != nil {
 			return false, err
 		}
@@ -365,14 +406,14 @@ func EvalCond(resolve Resolver, env Env, c flwor.Cond) (bool, error) {
 	}
 }
 
-func condOperandValues(resolve Resolver, env Env, o xpath.Operand) ([]string, error) {
+func (ev *evaluator) condOperandValues(env Env, o xpath.Operand) ([]string, error) {
 	switch o.Kind {
 	case xpath.OperandString:
 		return []string{o.Str}, nil
 	case xpath.OperandNumber:
 		return []string{trimFloat(o.Num)}, nil
 	}
-	res, err := EvalPathEnv(resolve, env, o.Path)
+	res, err := ev.path(env, o.Path)
 	if err != nil {
 		return nil, err
 	}
@@ -388,11 +429,22 @@ func condOperandValues(resolve Resolver, env Env, o xpath.Operand) ([]string, er
 // surviving iteration, in iteration (document) order, after applying
 // where and order by.
 func EvalFLWOR(resolve Resolver, f *flwor.FLWOR) ([]Env, error) {
+	return EvalFLWORGov(resolve, f, nil)
+}
+
+// EvalFLWORGov is EvalFLWOR under a governor: every correlated path
+// re-evaluation inside the nested loops is governed, so cancellation
+// and budgets abort the iteration mid-flight.
+func EvalFLWORGov(resolve Resolver, f *flwor.FLWOR, g *gov.Governor) ([]Env, error) {
+	ev := &evaluator{resolve: resolve, gov: g}
 	envs := []Env{{}}
 	for _, cl := range f.Clauses {
 		var next []Env
 		for _, env := range envs {
-			res, err := EvalPathEnv(resolve, env, cl.Path)
+			if err := ev.gov.Poll(); err != nil {
+				return nil, err
+			}
+			res, err := ev.path(env, cl.Path)
 			if err != nil {
 				return nil, err
 			}
@@ -413,7 +465,10 @@ func EvalFLWOR(resolve Resolver, f *flwor.FLWOR) ([]Env, error) {
 	if f.Where != nil {
 		var kept []Env
 		for _, env := range envs {
-			ok, err := EvalCond(resolve, env, f.Where)
+			if err := ev.gov.Poll(); err != nil {
+				return nil, err
+			}
+			ok, err := ev.cond(env, f.Where)
 			if err != nil {
 				return nil, err
 			}
@@ -426,7 +481,7 @@ func EvalFLWOR(resolve Resolver, f *flwor.FLWOR) ([]Env, error) {
 	if f.OrderBy != nil {
 		keys := make([]string, len(envs))
 		for i, env := range envs {
-			res, err := EvalPathEnv(resolve, env, f.OrderBy)
+			res, err := ev.path(env, f.OrderBy)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package nok
 
 import (
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/xmltree"
@@ -30,6 +32,13 @@ type Iterator struct {
 	// Stop, when non-nil, is polled periodically; returning true ends
 	// the stream early (deadline enforcement for DNF experiment cells).
 	Stop func() bool
+	// Gov, when non-nil, charges every anchor scan against the query's
+	// node budget and polls cancellation/faults; a violation sets Err
+	// and ends the stream.
+	Gov *gov.Governor
+	// Err records the governance violation that ended the stream early;
+	// the plan layer surfaces it after draining.
+	Err error
 }
 
 // NewIterator returns a whole-document sequential-scan iterator: every
@@ -57,10 +66,17 @@ func NewIndexIterator(m *Matcher, nodes []*xmltree.Node) *Iterator {
 
 // GetNext returns the next instance, or nil when exhausted.
 func (it *Iterator) GetNext() *nestedlist.List {
+	if it.Err != nil {
+		return nil
+	}
 	for {
 		if len(it.queue) > 0 {
 			l := it.queue[0]
 			it.queue = it.queue[1:]
+			if err := it.Gov.Emitted(fault.SiteNoKEmit); err != nil {
+				it.Err = err
+				return nil
+			}
 			return l
 		}
 		x := it.nextAnchor()
@@ -69,6 +85,10 @@ func (it *Iterator) GetNext() *nestedlist.List {
 		}
 		it.ScannedNodes++
 		it.Stats.AddScanned(1)
+		if err := it.Gov.Scanned(fault.SiteNoKScan, 1); err != nil {
+			it.Err = err
+			return nil
+		}
 		if it.Stop != nil && it.ScannedNodes%1024 == 0 && it.Stop() {
 			return nil
 		}

@@ -317,7 +317,7 @@ func TestQuickNoKEqualsOracle(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: tags, MaxNodes: 60, MaxDepth: 7})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: tags, MaxNodes: 60, MaxDepth: 7})
 		q := genQuery(r)
 		cq, err := core.FromPath(xpath.MustParse(q))
 		if err != nil {
@@ -391,7 +391,7 @@ func TestQuickTheorem1(t *testing.T) {
 	tags := []string{"a", "b", "c"}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{Tags: tags, MaxNodes: 50, MaxDepth: 8})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: tags, MaxNodes: 50, MaxDepth: 8})
 		queries := []string{`//a/b`, `//a[b]/c`, `//b/a[c]`, `//a/b/c`}
 		q := queries[r.Intn(len(queries))]
 		cq, err := core.FromPath(xpath.MustParse(q))

@@ -124,4 +124,10 @@ const (
 	MetricComparisons    = "operator_comparisons_total"
 	MetricOperatorCalls  = "operator_getnext_calls_total"
 	MetricDocumentsAdded = "documents_added_total"
+	// MetricQueryAborts counts evaluations ended by governance: context
+	// cancellation, deadline expiry, or resource-budget exhaustion.
+	MetricQueryAborts = "query_aborts_total"
+	// MetricQueryPanics counts operator panics converted to errors at
+	// the executor boundary.
+	MetricQueryPanics = "query_panics_total"
 )

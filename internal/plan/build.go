@@ -146,6 +146,7 @@ func (p *Plan) buildNoKPlan() (join.Operator, *obs.OpStats, error) {
 			Inner: toC.op,
 			Pred:  join.CrossingPredicate(c, fromSlot, toSlot),
 			Stop:  p.opts.Stop,
+			Gov:   p.gov,
 			Stats: st,
 		}
 		p.watch(func() error { return nl.Err })
@@ -163,7 +164,7 @@ func (p *Plan) buildNoKPlan() (join.Operator, *obs.OpStats, error) {
 		p.note("cartesian product of disconnected components")
 		st := obs.NewOpStats("NestedLoopJoin", "cartesian product")
 		st.Adopt(a.stats, b.stats)
-		nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Stop: p.opts.Stop, Stats: st,
+		nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Stop: p.opts.Stop, Gov: p.gov, Stats: st,
 			Pred: func(_, _ *nestedlist.List) (bool, error) { return true, nil }}
 		p.watch(func() error { return nl.Err })
 		a.op = join.Instrument(nl, st)
@@ -226,7 +227,7 @@ func (p *Plan) combine(a, b *component, _ *core.Crossing, l core.Link) {
 	}
 	st := obs.NewOpStats("NestedLoopJoin", fmt.Sprintf("%s-join of for-clauses", l.Mode))
 	st.Adopt(a.stats, b.stats)
-	nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Pred: pred, Stop: p.opts.Stop, Stats: st}
+	nl := &join.NestedLoopJoin{Outer: a.op, Inner: b.op, Pred: pred, Stop: p.opts.Stop, Gov: p.gov, Stats: st}
 	p.watch(func() error { return nl.Err })
 	a.op = join.Instrument(nl, st)
 	a.stats = st
@@ -268,14 +269,18 @@ func (p *Plan) baseScan(m *nok.Matcher) (join.Operator, *obs.OpStats) {
 		st := scanStats(fmt.Sprintf("index(%s)", m.RootTest()))
 		it := nok.NewIndexIterator(m, p.opts.Index.Nodes(m.RootTest()))
 		it.Stop = p.opts.Stop
+		it.Gov = p.gov
 		it.Stats = st
+		p.watch(func() error { return it.Err })
 		return join.Instrument(it, st), st
 	}
 	p.note("NoK%d anchors via sequential scan", m.NoK.Index)
 	st := scanStats("seq")
 	it := nok.NewIterator(m, p.doc)
 	it.Stop = p.opts.Stop
+	it.Gov = p.gov
 	it.Stats = st
+	p.watch(func() error { return it.Err })
 	return join.Instrument(it, st), st
 }
 
@@ -303,7 +308,7 @@ func (p *Plan) descJoin(outer join.Operator, outerStats *obs.OpStats, inner *nok
 			Outer: outer, OuterSlot: outerSlot,
 			Inner: inner, InnerSlot: innerSlot,
 			PerPair: perPair, Optional: optional,
-			Stop: p.opts.Stop, Stats: st,
+			Stop: p.opts.Stop, Gov: p.gov, Stats: st,
 		}
 		p.watch(func() error { return bn.Err })
 		return join.Instrument(bn, st), st, nil
@@ -320,6 +325,7 @@ func (p *Plan) descJoin(outer join.Operator, outerStats *obs.OpStats, inner *nok
 			Outer: outer, Inner: innerOp,
 			OuterSlot: outerSlot, InnerSlot: innerSlot,
 			PerPair: perPair, Optional: optional,
+			Gov:   p.gov,
 			Stats: st,
 		}
 		p.watch(func() error { return pl.Err })
@@ -342,7 +348,7 @@ func (p *Plan) descJoin(outer join.Operator, outerStats *obs.OpStats, inner *nok
 		nl := &join.NestedLoopJoin{
 			Outer: outer, Inner: innerOp,
 			Pred: join.DescPredicate(outerSlot, innerSlot),
-			Stop: p.opts.Stop, Stats: st,
+			Stop: p.opts.Stop, Gov: p.gov, Stats: st,
 		}
 		p.watch(func() error { return nl.Err })
 		return join.Instrument(nl, st), st, nil
@@ -364,6 +370,7 @@ func (p *Plan) buildTwig() (join.Operator, *obs.OpStats, error) {
 		return nil, nil, err
 	}
 	ts.Stop = p.opts.Stop
+	ts.Gov = p.gov
 	st := obs.NewOpStats("TwigStack", fmt.Sprintf("twig rooted at %s", start.Label()))
 	for _, v := range p.Query.Tree.Vertices {
 		if !v.IsDocRoot() {
@@ -381,7 +388,9 @@ func (p *Plan) buildTwig() (join.Operator, *obs.OpStats, error) {
 	}
 	matches, err := ts.Run()
 	if err != nil {
-		return nil, nil, err
+		// The twig runs at build time, so a governed abort here must
+		// still hand back the stats recorded up to the abort.
+		return nil, st, err
 	}
 	p.note("TwigStack produced %d matches (%d stack pushes)", len(matches), ts.PushCount)
 	ls := make([]*nestedlist.List, 0, len(matches))

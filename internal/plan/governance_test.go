@@ -1,0 +1,173 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
+	"blossomtree/internal/index"
+	"blossomtree/internal/xmltree"
+)
+
+// govDoc is a non-recursive document large enough that every join
+// operator emits many instances, so faults can target first, middle,
+// and last emissions distinctly.
+func govDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	return parse(t, "<r>"+strings.Repeat("<a><b><c/></b><b/><c/></a>", 200)+"</r>")
+}
+
+func govExecute(t *testing.T, doc *xmltree.Document, ix *index.TagIndex, strat Strategy, opts Options) error {
+	t.Helper()
+	opts.Strategy = strat
+	if strat == Twig {
+		opts.Index = ix
+	}
+	p, err := Build(compilePath(t, `//a//c`), doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Execute()
+	return err
+}
+
+// TestFaultInjectionPerOperator drives every planned operator family
+// with a fault armed at its first, middle, and last instrumentation
+// hit, asserting the injected error surfaces from Execute each time.
+// The per-site hit totals come from a fault-free counting run, so the
+// "last" case really is the operator's final emission.
+func TestFaultInjectionPerOperator(t *testing.T) {
+	doc := govDoc(t)
+	ix := index.Build(doc)
+	cases := []struct {
+		name  string
+		strat Strategy
+		site  fault.Site
+	}{
+		{"pipelined-join", Pipelined, fault.SitePipelined},
+		{"bounded-nl-join", BoundedNL, fault.SiteBoundedNL},
+		{"nested-loop-join", NaiveNL, fault.SiteNestedLoop},
+		{"twigstack", Twig, fault.SiteTwigStack},
+		{"nok-emit", Pipelined, fault.SiteNoKEmit},
+		{"nok-scan", NaiveNL, fault.SiteNoKScan},
+		{"index-stream", Twig, fault.SiteIndexStream},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Counting run: an injector with no rules armed observes how
+			// often the operator hits its site in a clean evaluation.
+			counter := fault.New()
+			if err := govExecute(t, doc, ix, tc.strat, Options{Fault: counter}); err != nil {
+				t.Fatalf("counting run failed: %v", err)
+			}
+			total := counter.Hits(tc.site)
+			if total < 3 {
+				t.Fatalf("site %s hit only %d times; document too small to test first/middle/last", tc.site, total)
+			}
+			boom := errors.New("injected operator failure")
+			for _, k := range []int64{1, total / 2, total} {
+				inj := fault.New().FailAt(tc.site, k, boom)
+				err := govExecute(t, doc, ix, tc.strat, Options{Fault: inj})
+				if !errors.Is(err, boom) {
+					t.Errorf("fault at hit %d/%d of %s: Execute = %v, want the injected error", k, total, tc.site, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBudgetAbortCarriesPartialStats checks the tentpole acceptance
+// criterion: a node-budget abort mid-join returns ErrBudgetExceeded
+// carrying the partial per-operator statistics recorded up to the
+// abort — a partial EXPLAIN ANALYZE.
+func TestBudgetAbortCarriesPartialStats(t *testing.T) {
+	doc := govDoc(t)
+	ix := index.Build(doc)
+	for _, strat := range []Strategy{Pipelined, BoundedNL, NaiveNL, Twig} {
+		t.Run(strat.String(), func(t *testing.T) {
+			err := govExecute(t, doc, ix, strat, Options{Budget: gov.Budget{MaxNodes: 50}})
+			if !errors.Is(err, gov.ErrBudgetExceeded) {
+				t.Fatalf("Execute = %v, want ErrBudgetExceeded", err)
+			}
+			st, ok := gov.StatsOf(err)
+			if !ok || st == nil {
+				t.Fatal("abort carries no partial stats tree")
+			}
+			if r := st.Render(true); r == "" {
+				t.Fatal("partial stats render empty")
+			}
+		})
+	}
+}
+
+func TestOutputBudgetAbort(t *testing.T) {
+	doc := govDoc(t)
+	err := govExecute(t, doc, nil, Pipelined, Options{Budget: gov.Budget{MaxOutput: 3}})
+	if !errors.Is(err, gov.ErrBudgetExceeded) {
+		t.Fatalf("Execute = %v, want ErrBudgetExceeded", err)
+	}
+	if _, ok := gov.StatsOf(err); !ok {
+		t.Fatal("output abort carries no partial stats")
+	}
+}
+
+// TestCanceledContextScansNothing checks the zero-work guarantee: a
+// context canceled before Execute returns ErrCanceled without the
+// operators touching a single node.
+func TestCanceledContextScansNothing(t *testing.T) {
+	doc := govDoc(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	counter := fault.New()
+	p, err := Build(compilePath(t, `//a//c`), doc, Options{Strategy: Pipelined, Ctx: ctx, Fault: counter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(); !errors.Is(err, gov.ErrCanceled) {
+		t.Fatalf("Execute = %v, want ErrCanceled", err)
+	}
+	for _, site := range []fault.Site{fault.SiteNoKScan, fault.SiteNoKEmit, fault.SitePipelined, fault.SiteOutput} {
+		if n := counter.Hits(site); n != 0 {
+			t.Errorf("site %s hit %d times after pre-canceled context; want 0", site, n)
+		}
+	}
+	if n := p.gov.NodesScanned(); n != 0 {
+		t.Errorf("governor charged %d nodes after pre-canceled context", n)
+	}
+}
+
+// TestDeadlineAbort checks wall-clock governance end to end with an
+// already-expired budget deadline.
+func TestDeadlineAbort(t *testing.T) {
+	doc := govDoc(t)
+	p, err := Build(compilePath(t, `//a//c`), doc,
+		Options{Strategy: Pipelined, Budget: gov.Budget{Timeout: time.Nanosecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	if _, err := p.Execute(); !errors.Is(err, gov.ErrBudgetExceeded) {
+		t.Fatalf("Execute = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestParallelPreScanAborts checks that a governance violation inside
+// the parallel NoK fan-out surfaces from Execute instead of the plan
+// replaying truncated lists as a silently-wrong result.
+func TestParallelPreScanAborts(t *testing.T) {
+	doc := govDoc(t)
+	boom := errors.New("fan-out failure")
+	inj := fault.New().FailAt(fault.SiteNoKScan, 10, boom)
+	p, err := Build(compilePath(t, `//a//c`), doc,
+		Options{Strategy: Pipelined, Parallel: 4, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(); !errors.Is(err, boom) {
+		t.Fatalf("Execute = %v, want the injected fan-out error", err)
+	}
+}

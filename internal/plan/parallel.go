@@ -38,6 +38,12 @@ func (p *Plan) preScanParallel(workers int) error {
 		ops[i], stats[i] = p.baseScan(m)
 	}
 	results := join.DrainAll(ops, workers)
+	// A governance violation during the fan-out (cancellation, budget,
+	// injected fault) ended the affected scans early; surface it before
+	// the operator tree replays truncated lists.
+	if err := p.Err(); err != nil {
+		return err
+	}
 	p.preScanned = make(map[*core.NoK][]*nestedlist.List, len(targets))
 	p.preScanScanned = make(map[*core.NoK]int64, len(targets))
 	for i, n := range targets {

@@ -17,10 +17,13 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"blossomtree/internal/core"
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
 	"blossomtree/internal/index"
 	"blossomtree/internal/join"
 	"blossomtree/internal/nestedlist"
@@ -85,11 +88,34 @@ type Options struct {
 	Parallel int
 	// Stop, when non-nil, is polled by the plan's operators; returning
 	// true ends execution early (the DNF timeout of the experiments).
+	// Unlike Ctx/Budget governance it ends streams silently — new code
+	// should prefer Ctx and Budget, which return typed errors.
 	Stop func() bool
 	// Analyze enables per-operator wall-clock timing on the plan's stats
 	// tree (EXPLAIN ANALYZE). Counters are collected regardless; only
 	// timing is gated, because it costs two clock reads per GetNext.
 	Analyze bool
+	// Ctx, when non-nil, cancels the evaluation: operators poll it
+	// (amortized) and Execute returns gov.ErrCanceled-wrapped errors.
+	Ctx context.Context
+	// Budget bounds the evaluation's resources (nodes scanned, result
+	// tuples, wall clock); exhaustion aborts with gov.ErrBudgetExceeded.
+	Budget gov.Budget
+	// Fault, when non-nil, is the test-only deterministic fault
+	// injector the operators consult at their instrumentation points.
+	Fault *fault.Injector
+	// Gov, when non-nil, is an externally created governor to use
+	// instead of building one from Ctx/Budget/Fault (the executor
+	// shares one governor between planning and residual evaluation).
+	Gov *gov.Governor
+}
+
+// governor returns the options' governor, building one on demand.
+func (o *Options) governor() *gov.Governor {
+	if o.Gov == nil {
+		o.Gov = gov.New(o.Ctx, o.Budget, o.Fault)
+	}
+	return o.Gov
 }
 
 // Plan is an executable physical plan.
@@ -100,6 +126,7 @@ type Plan struct {
 
 	doc  *xmltree.Document
 	opts Options
+	gov  *gov.Governor // nil when ungoverned (no ctx/budget/fault)
 	expl []string
 
 	usedCrossings map[*core.Crossing]bool
@@ -125,6 +152,7 @@ func Build(q *core.Query, doc *xmltree.Document, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	p := &Plan{Query: q, Decomp: d, doc: doc, opts: opts}
+	p.gov = p.opts.governor()
 	p.Strategy = p.chooseStrategy()
 	if p.Strategy == Twig {
 		if err := p.twigCompatible(); err != nil {
@@ -201,32 +229,47 @@ func (p *Plan) Explain() string {
 	return sb.String()
 }
 
-// Execute runs the plan and materializes the resulting instances.
+// Execute runs the plan and materializes the resulting instances. A
+// governance violation (cancellation, deadline, budget) aborts with the
+// typed gov error carrying the partial per-operator stats tree recorded
+// up to the abort — the partial EXPLAIN ANALYZE.
 func (p *Plan) Execute() ([]*nestedlist.List, error) {
+	if err := p.gov.CheckNow(); err != nil {
+		return nil, gov.WithStats(err, p.stats)
+	}
 	if p.opts.Parallel != 0 && p.opts.Parallel != 1 {
 		if err := p.preScanParallel(p.opts.Parallel); err != nil {
-			return nil, err
+			return nil, gov.WithStats(err, p.stats)
 		}
 	}
 	op, err := p.Operator()
 	if err != nil {
-		return nil, err
+		return nil, gov.WithStats(err, p.stats)
 	}
-	out := join.Drain(op)
+	var out []*nestedlist.List
+	for l := op.GetNext(); l != nil; l = op.GetNext() {
+		out = append(out, l)
+		// Root-level results are the only emissions charged against the
+		// output budget (intermediate operators emit freely).
+		if err := p.gov.Output(1); err != nil {
+			return nil, gov.WithStats(err, p.stats)
+		}
+	}
 	if err := p.Err(); err != nil {
-		return nil, err
+		return nil, gov.WithStats(err, p.stats)
 	}
 	return out, nil
 }
 
-// Err surfaces any deferred stream error from the plan's operators.
+// Err surfaces any deferred stream error from the plan's operators or
+// its governor.
 func (p *Plan) Err() error {
 	for _, f := range p.errChecks {
 		if err := f(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return p.gov.Err()
 }
 
 // Operator builds the root operator of the plan, along with a fresh
@@ -240,10 +283,15 @@ func (p *Plan) Operator() (join.Operator, error) {
 	} else {
 		op, st, err = p.buildNoKPlan()
 	}
+	// Install the stats tree even when the build aborts (a governed
+	// violation mid-TwigStack): the abort error carries it as the
+	// partial EXPLAIN ANALYZE.
+	if st != nil {
+		p.stats = st
+	}
 	if err != nil {
 		return nil, err
 	}
-	p.stats = st
 	if p.opts.Analyze {
 		st.EnableTiming()
 	}

@@ -180,7 +180,7 @@ func TestCompressionOnDatasets(t *testing.T) {
 func TestQuickStorageRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		doc := xmlgen.Random(r, xmlgen.RandomSpec{MaxNodes: 70, MaxDepth: 9})
+		doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{MaxNodes: 70, MaxDepth: 9})
 		seg := Encode(doc)
 		back, err := seg.Decode()
 		if err != nil {

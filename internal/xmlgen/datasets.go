@@ -49,7 +49,7 @@ var d1Weights = []weighted{
 	{"b2", 6}, {"b3", 6}, {"b4", 1},
 }
 
-func d1(r *rand.Rand, target int) *xmltree.Document {
+func d1(r *rand.Rand, target int) (*xmltree.Document, error) {
 	const maxDepth = 8
 	b := xmltree.NewBuilder()
 	c := &counter{left: target}
@@ -78,14 +78,14 @@ func d1(r *rand.Rand, target int) *xmltree.Document {
 		gen(2)
 	}
 	b.End()
-	return b.MustDone()
+	return b.Done()
 }
 
 // d2 generates the XBench-address-like document: 7 tags, shallow, bushy,
 // non-recursive. Presence probabilities of the optional fields tune the
 // selectivity spread that the Appendix-A d2 queries rely on (name_of_state
 // is rare, street_address universal).
-func d2(r *rand.Rand, target int) *xmltree.Document {
+func d2(r *rand.Rand, target int) (*xmltree.Document, error) {
 	b := xmltree.NewBuilder()
 	c := &counter{left: target}
 	c.take()
@@ -112,7 +112,7 @@ func d2(r *rand.Rand, target int) *xmltree.Document {
 		b.End()
 	}
 	b.End()
-	return b.MustDone()
+	return b.Done()
 }
 
 func stateName(r *rand.Rand) string {
@@ -139,7 +139,7 @@ var catalogAttrTags = []string{
 // author/contact_information//street_address, author/date_of_birth,
 // author/last_name, publisher//street_information/street_address,
 // publisher/mailing_address.
-func d3(r *rand.Rand, target int) *xmltree.Document {
+func d3(r *rand.Rand, target int) (*xmltree.Document, error) {
 	b := xmltree.NewBuilder()
 	c := &counter{left: target}
 
@@ -221,7 +221,7 @@ func d3(r *rand.Rand, target int) *xmltree.Document {
 		b.End()
 	}
 	b.End()
-	return b.MustDone()
+	return b.Done()
 }
 
 func author(b *xmltree.Builder, r *rand.Rand, c *counter, address func(bool)) {
@@ -276,7 +276,7 @@ var d4Terminals = map[string]bool{
 // d4 generates Treebank-like deep recursive parse trees: grammar-rule
 // expansion with max depth 36, heavy recursion on VP/NP/PP and a long
 // tail of annotated label variants.
-func d4(r *rand.Rand, target int) *xmltree.Document {
+func d4(r *rand.Rand, target int) (*xmltree.Document, error) {
 	const maxDepth = 36
 	b := xmltree.NewBuilder()
 	c := &counter{left: target}
@@ -318,7 +318,7 @@ func d4(r *rand.Rand, target int) *xmltree.Document {
 		b.End()
 	}
 	b.End()
-	return b.MustDone()
+	return b.Done()
 }
 
 // dblpEntryKinds and the per-entry fields give the 35-tag alphabet of
@@ -339,7 +339,7 @@ var dblpEntryKinds = []struct {
 	{"www", 9},
 }
 
-func d5(r *rand.Rand, target int) *xmltree.Document {
+func d5(r *rand.Rand, target int) (*xmltree.Document, error) {
 	totalWeight := 0
 	for _, k := range dblpEntryKinds {
 		totalWeight += k.weight
@@ -456,5 +456,5 @@ func d5(r *rand.Rand, target int) *xmltree.Document {
 		b.End()
 	}
 	b.End()
-	return b.MustDone()
+	return b.Done()
 }

@@ -40,7 +40,7 @@ func (s *RandomSpec) defaults() {
 // Random generates a random well-formed document. Generation is
 // deterministic in r. Tag recursion is allowed, so random documents
 // exercise the recursive-document code paths of the matcher and joins.
-func Random(r *rand.Rand, spec RandomSpec) *xmltree.Document {
+func Random(r *rand.Rand, spec RandomSpec) (*xmltree.Document, error) {
 	spec.defaults()
 	b := xmltree.NewBuilder()
 	budget := 1 + r.Intn(spec.MaxNodes)
@@ -72,5 +72,15 @@ func Random(r *rand.Rand, spec RandomSpec) *xmltree.Document {
 		b.End()
 		depth--
 	}
-	return b.MustDone()
+	return b.Done()
+}
+
+// MustRandom is Random for tests, where a generation bug should fail
+// loudly rather than be handled.
+func MustRandom(r *rand.Rand, spec RandomSpec) *xmltree.Document {
+	doc, err := Random(r, spec)
+	if err != nil {
+		panic(err)
+	}
+	return doc
 }

@@ -99,17 +99,21 @@ func Generate(id string, cfg Config) (*xmltree.Document, error) {
 	}
 	r := rand.New(rand.NewSource(cfg.Seed*1469598103 + int64(len(id))))
 	var doc *xmltree.Document
+	var err error
 	switch id {
 	case "d1":
-		doc = d1(r, cfg.TargetNodes)
+		doc, err = d1(r, cfg.TargetNodes)
 	case "d2":
-		doc = d2(r, cfg.TargetNodes)
+		doc, err = d2(r, cfg.TargetNodes)
 	case "d3":
-		doc = d3(r, cfg.TargetNodes)
+		doc, err = d3(r, cfg.TargetNodes)
 	case "d4":
-		doc = d4(r, cfg.TargetNodes)
+		doc, err = d4(r, cfg.TargetNodes)
 	case "d5":
-		doc = d5(r, cfg.TargetNodes)
+		doc, err = d5(r, cfg.TargetNodes)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("xmlgen: generating %s: %w", id, err)
 	}
 	doc.Name = id
 	if doc.Bytes == 0 {

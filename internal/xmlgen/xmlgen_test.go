@@ -116,7 +116,7 @@ func TestDatasetSerializable(t *testing.T) {
 
 func TestRandomSpecDefaults(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
-	doc := Random(r, RandomSpec{})
+	doc := MustRandom(r, RandomSpec{})
 	if doc.DocumentElement() == nil {
 		t.Fatal("random doc has no root")
 	}
@@ -125,7 +125,7 @@ func TestRandomSpecDefaults(t *testing.T) {
 		t.Errorf("elements = %d, want 1..50", s.Elements)
 	}
 	// TextProb: -1 disables text entirely.
-	doc = Random(r, RandomSpec{TextProb: -1, MaxNodes: 40})
+	doc = MustRandom(r, RandomSpec{TextProb: -1, MaxNodes: 40})
 	s = xmltree.ComputeStats(doc)
 	if s.Texts != 0 {
 		t.Errorf("TextProb -1 still produced %d text nodes", s.Texts)
@@ -138,7 +138,7 @@ func TestQuickRandomWellFormed(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		spec := RandomSpec{MaxNodes: 60, MaxDepth: 6}
-		doc := Random(r, spec)
+		doc := MustRandom(r, spec)
 		s := xmltree.ComputeStats(doc)
 		if s.Elements < 1 || s.Elements > spec.MaxNodes || s.MaxDepth > spec.MaxDepth {
 			return false

@@ -135,7 +135,8 @@ func (b *Builder) Done() (*Document, error) {
 	return b.doc, nil
 }
 
-// MustDone is Done for tests and generators with known-good sequences.
+// MustDone is Done for tests with known-good build sequences; library
+// and generator code must use Done and propagate the error.
 func (b *Builder) MustDone() *Document {
 	doc, err := b.Done()
 	if err != nil {

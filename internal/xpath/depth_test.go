@@ -1,0 +1,52 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDepthBounded feeds the parser inputs whose recursion depth
+// grows linearly with input length. Each must be rejected with the
+// nesting-bound error — not by running out of goroutine stack.
+func TestParseDepthBounded(t *testing.T) {
+	n := 4 * MaxDepth
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"nested predicates", strings.Repeat("//a[", n)},
+		{"open parens", "//a[" + strings.Repeat("(", n)},
+		{"not chains", "//a[" + strings.Repeat("not(", n)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("deeply nested input parsed without error")
+			}
+			if !strings.Contains(err.Error(), "nesting") {
+				t.Fatalf("expected the nesting-bound error, got: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseDeepButLegal checks that well-formed nesting below the bound
+// still parses: the guard must reject attacks, not real queries.
+func TestParseDeepButLegal(t *testing.T) {
+	d := MaxDepth / 2
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"parens", "//a[" + strings.Repeat("(", d) + "b" + strings.Repeat(")", d) + "]"},
+		{"predicates", strings.Repeat("//a[", d) + "b" + strings.Repeat("]", d)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err != nil {
+				t.Fatalf("legal nesting at depth %d rejected: %v", d, err)
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package xpath
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzXPathParse asserts two properties over arbitrary input: the parser
 // never panics, and any path it accepts round-trips through the printer
@@ -23,6 +26,10 @@ func FuzzXPathParse(f *testing.F) {
 	} {
 		f.Add(seed)
 	}
+	// Depth-bound seeds: nesting past MaxDepth must be rejected, not
+	// overflow the stack (see depth_test.go).
+	f.Add(strings.Repeat("//a[", MaxDepth+8))
+	f.Add("//a[" + strings.Repeat("(", MaxDepth+8))
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {

@@ -72,13 +72,23 @@ type Token struct {
 	Pos  int
 }
 
-// Lexer tokenizes a query string.
+// MaxDepth bounds the nesting depth the recursive-descent parsers
+// accept (predicates, parenthesized expressions, element constructors,
+// nested FLWORs). Adversarial inputs like "[[[[…" otherwise recurse
+// once per character and overflow the goroutine stack; beyond the bound
+// parsing fails with an ordinary error instead.
+const MaxDepth = 512
+
+// Lexer tokenizes a query string. It also carries the recursion-depth
+// counter shared by the XPath and FLWOR parsers, since both parse from
+// the same lexer (FLWOR embeds paths, paths embed predicates).
 type Lexer struct {
-	src  string
-	pos  int
-	tok  Token
-	err  error
-	next *Token // one-token pushback
+	src   string
+	pos   int
+	tok   Token
+	err   error
+	next  *Token // one-token pushback
+	depth int    // current recursive-production nesting, bounded by MaxDepth
 }
 
 // NewLexer returns a lexer positioned before the first token; call
@@ -101,6 +111,22 @@ func (l *Lexer) Errorf(format string, args ...any) {
 		l.err = fmt.Errorf("%s at offset %d", fmt.Sprintf(format, args...), l.tok.Pos)
 	}
 }
+
+// Enter records entry into one level of a recursive production and
+// reports whether parsing may continue. On overflow it records a parse
+// error and jumps the lexer to EOF, so every enclosing production's
+// loop terminates and the parsers unwind without further recursion.
+func (l *Lexer) Enter() bool {
+	l.depth++
+	if l.depth > MaxDepth {
+		l.fail(l.tok.Pos, "expression nesting deeper than %d levels", MaxDepth)
+		return false
+	}
+	return true
+}
+
+// Leave exits a recursive production entered with Enter.
+func (l *Lexer) Leave() { l.depth-- }
 
 // Push pushes the current token back and makes prev current again; only a
 // single token of lookahead is supported.
@@ -247,5 +273,9 @@ func (l *Lexer) fail(pos int, format string, args ...any) {
 		l.err = fmt.Errorf("%s at offset %d", fmt.Sprintf(format, args...), pos)
 	}
 	l.tok = Token{Kind: TokEOF, Pos: pos}
+	// Drop any pushed-back token: a pending Push could otherwise
+	// resurrect a non-EOF token after the jump to end-of-input and keep
+	// a parser loop alive.
+	l.next = nil
 	l.pos = len(l.src)
 }

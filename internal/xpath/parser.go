@@ -197,7 +197,14 @@ func parsePredicates(l *Lexer, st *Step) {
 	}
 }
 
+// parseOr heads every expression recursion cycle (nested predicates
+// recurse through parseOperand's relative paths, parentheses through
+// parseUnary), so it alone carries the MaxDepth guard.
 func parseOr(l *Lexer) Expr {
+	if !l.Enter() {
+		return Exists{Path: &Path{}}
+	}
+	defer l.Leave()
 	e := parseAnd(l)
 	for l.Tok().Kind == TokName && l.Tok().Text == "or" {
 		l.Advance()
