@@ -5,6 +5,7 @@
 #   make check   — tier-2 verify: go vet + race-detector test run
 #                  (includes the cancellation stress pass)
 #   make stress  — cancellation/fault-injection stress under -race
+#   make smoke   — boot blossomd, query it over HTTP, scrape /metrics
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
 #   make fuzz    — parser fuzz smoke (FUZZTIME per target, default 30s)
@@ -12,7 +13,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet race check stress bench qps fuzz
+.PHONY: build test vet race check stress smoke bench qps fuzz
 
 build:
 	$(GO) build ./...
@@ -30,7 +31,7 @@ race:
 # full suite under the race detector, which exercises the concurrent
 # Add+Eval stress tests against the snapshot engine, plus the
 # cancellation stress pass.
-check: vet race stress
+check: vet race stress smoke
 
 # Cancellation/fault-injection stress: mid-flight cancellation of batch
 # and multi-document evaluation, scripted operator panics, and budget
@@ -40,6 +41,12 @@ stress:
 	$(GO) test -race -timeout 120s -count=3 \
 		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits' \
 		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault .
+
+# Daemon smoke: build blossomd, boot it on a random port, POST one
+# query, assert the /metrics latency histogram recorded it and the
+# query's /trace is retrievable, then require a clean SIGTERM exit.
+smoke:
+	sh scripts/smoke_blossomd.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -31,6 +31,8 @@ package blossomtree
 import (
 	"fmt"
 	"io"
+	"log/slog"
+	"time"
 
 	"blossomtree/internal/exec"
 	"blossomtree/internal/obs"
@@ -103,6 +105,20 @@ type Options struct {
 	// Budget bounds the evaluation's resources; exhaustion aborts the
 	// query with ErrBudgetExceeded. The zero Budget means unlimited.
 	Budget Budget
+	// Logger, when non-nil, receives one structured record per
+	// evaluation: query ID, query-text hash, executed strategy,
+	// governance verdict, nodes scanned, rows out, and latency. The
+	// CLI, bench harness, and blossomd daemon all log through this one
+	// hook.
+	Logger *slog.Logger
+	// SlowQueryThreshold promotes evaluations at or past the threshold
+	// to Warn-level records carrying the query's full EXPLAIN ANALYZE
+	// tree; 0 disables slow-query capture.
+	SlowQueryThreshold time.Duration
+	// QueryID pins the evaluation's identifier (used by the query log
+	// and GET /trace/{queryID}); empty means the engine generates one,
+	// readable afterwards via Result.QueryID.
+	QueryID string
 }
 
 func (o Options) toPlan() (plan.Options, error) {
@@ -111,11 +127,14 @@ func (o Options) toPlan() (plan.Options, error) {
 		return plan.Options{}, err
 	}
 	return plan.Options{
-		Strategy:   strat,
-		MergeScans: o.MergeScans,
-		Parallel:   o.Parallel,
-		Analyze:    o.Analyze,
-		Budget:     o.Budget.toGov(),
+		Strategy:           strat,
+		MergeScans:         o.MergeScans,
+		Parallel:           o.Parallel,
+		Analyze:            o.Analyze,
+		Budget:             o.Budget.toGov(),
+		Logger:             o.Logger,
+		SlowQueryThreshold: o.SlowQueryThreshold,
+		QueryID:            o.QueryID,
 	}, nil
 }
 
@@ -367,4 +386,30 @@ func Metrics() map[string]int64 {
 // FormatMetrics renders a metrics snapshot as sorted "name value" lines.
 func FormatMetrics(m map[string]int64) string {
 	return obs.Format(m)
+}
+
+// WritePrometheus renders the process-wide metrics registry — counters
+// and the query-latency histogram — in Prometheus text exposition
+// format (the payload of blossomd's GET /metrics). Safe to call
+// concurrently with evaluations.
+func WritePrometheus(w io.Writer) error {
+	return obs.Default.WritePrometheus(w)
+}
+
+// NewQueryID returns a process-unique query identifier, for callers
+// (like the daemon) that need to know the ID before the evaluation
+// runs so failures remain attributable.
+func NewQueryID() string { return exec.NewQueryID() }
+
+// TraceJSON returns the Chrome trace-event JSON of a recently executed
+// query (by Result.QueryID): one span per physical operator, nested
+// like the EXPLAIN ANALYZE tree, with real durations when the query
+// ran with Options.Analyze. The store retains the most recent ~512
+// queries; older traces report false.
+func TraceJSON(queryID string) ([]byte, bool) {
+	t, ok := obs.DefaultTraces.Get(queryID)
+	if !ok {
+		return nil, false
+	}
+	return t.JSON(), true
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -39,6 +40,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = no limit)")
 		maxNodes  = flag.Int64("max-nodes", 0, "abort after scanning this many document/index nodes (0 = no limit)")
 		maxOutput = flag.Int64("max-output", 0, "abort after producing this many result tuples (0 = no limit)")
+		logQuery  = flag.Bool("log", false, "emit the structured query-log record (the daemon's pipeline) to stderr")
+		slow      = flag.Duration("slow-query", 0, "log the query at Warn with its EXPLAIN ANALYZE tree when at/past this latency (implies -log; 0 = off)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: blossom -file doc.xml [flags] 'query'\n\n")
@@ -67,6 +70,10 @@ func main() {
 			MaxOutput: *maxOutput,
 			Timeout:   *timeout,
 		},
+	}
+	if *logQuery || *slow > 0 {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		opts.SlowQueryThreshold = *slow
 	}
 
 	// Ctrl-C cancels the in-flight query through the governor rather

@@ -41,6 +41,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel worker count for -qps (0 = all cores)")
 		rounds   = flag.Int("rounds", 20, "suite repetitions per -qps batch")
 		metrics  = flag.Bool("metrics", false, "print the engine metrics registry after the run")
+		jsonOut  = flag.String("json", "", "also write machine-readable results (per cell: mean/p50/p99, scanned/q, out/q, DNF) to this file, e.g. BENCH_results.json; schema in EXPERIMENTS.md")
 	)
 	flag.Parse()
 	defer func() {
@@ -79,6 +80,18 @@ func main() {
 		}
 		fmt.Println("Batch throughput: serial vs parallel evaluation on one shared engine")
 		fmt.Print(bench.FormatThroughput(rows))
+		if *jsonOut != "" {
+			f := &bench.ResultsFile{
+				Config: bench.ResultsConfig{
+					Seed: *seed, Workers: *workers, Rounds: *rounds, TargetNodes: targets,
+				},
+				Throughput: bench.ThroughputResults(rows),
+			}
+			if err := bench.WriteResults(*jsonOut, f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
 		return
 	}
 
@@ -113,6 +126,18 @@ func main() {
 		}
 		fmt.Println("Table 3: running time in seconds (DNF = exceeded timeout)")
 		fmt.Print(bench.FormatTable3(rows))
+		if *jsonOut != "" {
+			f := &bench.ResultsFile{
+				Config: bench.ResultsConfig{
+					Seed: *seed, TimeoutS: timeout.Seconds(), Repeats: *repeats, TargetNodes: targets,
+				},
+				Table3: bench.Table3Results(rows),
+			}
+			if err := bench.WriteResults(*jsonOut, f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
 	default:
 		fatal(fmt.Errorf("unknown table %d", *table))
 	}

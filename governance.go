@@ -40,6 +40,11 @@ func (b Budget) toGov() gov.Budget {
 	return gov.Budget{MaxNodes: b.MaxNodes, MaxOutput: b.MaxOutput, Timeout: b.Timeout}
 }
 
+// Verdict classifies an evaluation outcome as the query log records
+// it: "ok" on success, "canceled" for context cancellation,
+// "budget_exceeded" for deadline/budget aborts, "error" otherwise.
+func Verdict(err error) string { return gov.Verdict(err) }
+
 // AbortStats returns the partial EXPLAIN ANALYZE recorded up to a
 // governed abort: the per-operator statistics tree (actual nodes
 // scanned, instances emitted, comparisons per operator) of the aborted

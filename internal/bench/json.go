@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// Machine-readable benchmark output (BENCH_results.json): the Table 3
+// grid and the throughput report as structured records — per
+// (dataset, system, query): mean/p50/p99 latency over the repeats,
+// nodes scanned and results produced per run, and DNF/error flags — so
+// the repo's perf trajectory can be tracked across commits instead of
+// eyeballed from formatted tables. The schema is documented in
+// EXPERIMENTS.md; schema_version gates readers against future shape
+// changes.
+
+// ResultsFile is the root of BENCH_results.json.
+type ResultsFile struct {
+	SchemaVersion int           `json:"schema_version"`
+	GeneratedAt   string        `json:"generated_at"` // RFC 3339 UTC
+	Config        ResultsConfig `json:"config"`
+	// Table3 holds one record per measured (dataset, system, query)
+	// cell of the paper's running-time grid.
+	Table3 []CellResult `json:"table3,omitempty"`
+	// Throughput holds the serial-vs-parallel batch comparison rows of
+	// the -qps mode.
+	Throughput []ThroughputResult `json:"throughput,omitempty"`
+}
+
+// ResultsConfig records the knobs the run used, for apples-to-apples
+// comparisons across commits.
+type ResultsConfig struct {
+	Seed        int64          `json:"seed"`
+	TimeoutS    float64        `json:"timeout_s,omitempty"`
+	Repeats     int            `json:"repeats,omitempty"`
+	Workers     int            `json:"workers,omitempty"`
+	Rounds      int            `json:"rounds,omitempty"`
+	TargetNodes map[string]int `json:"target_nodes,omitempty"`
+}
+
+// CellResult is one (dataset, system, query) measurement.
+type CellResult struct {
+	Dataset string `json:"dataset"`
+	System  string `json:"system"`
+	Query   string `json:"query"`
+	// MeanS/P50S/P99S summarize the per-repeat samples, in seconds.
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P99S  float64 `json:"p99_s"`
+	// ScannedPerQuery is the document/index nodes one run inspected;
+	// OutPerQuery the result nodes it produced.
+	ScannedPerQuery int64 `json:"scanned_per_q"`
+	OutPerQuery     int64 `json:"out_per_q"`
+	DNF             bool  `json:"dnf"`
+	Error           string `json:"error,omitempty"`
+}
+
+// ThroughputResult is one dataset's serial-vs-parallel comparison.
+type ThroughputResult struct {
+	Dataset         string  `json:"dataset"`
+	Queries         int     `json:"queries"`
+	Workers         int     `json:"workers"`
+	SerialQPS       float64 `json:"serial_qps"`
+	ParallelQPS     float64 `json:"parallel_qps"`
+	Speedup         float64 `json:"speedup"`
+	Errors          int     `json:"errors"`
+	ScannedPerQuery float64 `json:"scanned_per_q"`
+	EmittedPerQuery float64 `json:"out_per_q"`
+}
+
+// durationQuantile returns the q-quantile of the samples by
+// nearest-rank (q in [0,1]; empty input yields 0).
+func durationQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	// Nearest-rank rounds up: rank = ceil(q*n).
+	if float64(idx+1) < q*float64(len(sorted)) {
+		idx++
+	}
+	return sorted[idx]
+}
+
+// Table3Results flattens the grid rows into JSON cell records.
+func Table3Results(rows []Table3Row) []CellResult {
+	var out []CellResult
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			rec := CellResult{
+				Dataset:         c.Dataset,
+				System:          string(c.System),
+				Query:           c.Query,
+				MeanS:           c.Elapsed.Seconds(),
+				P50S:            durationQuantile(c.Samples, 0.50).Seconds(),
+				P99S:            durationQuantile(c.Samples, 0.99).Seconds(),
+				ScannedPerQuery: c.Scanned,
+				OutPerQuery:     int64(c.Results),
+				DNF:             c.DNF,
+			}
+			if c.Err != nil {
+				rec.Error = c.Err.Error()
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// ThroughputResults converts throughput rows into JSON records.
+func ThroughputResults(rows []ThroughputRow) []ThroughputResult {
+	var out []ThroughputResult
+	for _, r := range rows {
+		out = append(out, ThroughputResult{
+			Dataset:         r.Dataset,
+			Queries:         r.Queries,
+			Workers:         r.Workers,
+			SerialQPS:       r.SerialQPS,
+			ParallelQPS:     r.ParallelQPS,
+			Speedup:         r.Speedup,
+			Errors:          r.Errors,
+			ScannedPerQuery: r.ScannedPerQuery,
+			EmittedPerQuery: r.EmittedPerQuery,
+		})
+	}
+	return out
+}
+
+// WriteResults marshals a results file (indented, trailing newline) to
+// path.
+func WriteResults(path string, f *ResultsFile) error {
+	f.SchemaVersion = 1
+	if f.GeneratedAt == "" {
+		f.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

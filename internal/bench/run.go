@@ -81,6 +81,13 @@ type Cell struct {
 	Results int
 	DNF     bool
 	Err     error
+	// Scanned is the document/index nodes the measured run inspected
+	// (operator stats for the planned systems, governor accounting for
+	// the navigational XH).
+	Scanned int64
+	// Samples holds the per-repeat elapsed times of an averaged cell
+	// (runAveraged), the raw material of the JSON report's p50/p99.
+	Samples []time.Duration
 }
 
 // String formats the cell like the paper's table entries.
@@ -110,13 +117,15 @@ func RunCell(ds *Dataset, q Query, sys System, timeout time.Duration) Cell {
 	}
 	start := time.Now()
 	var n int
+	var scanned int64
 	switch sys {
 	case XH:
-		n, err = runNavigational(ds, path, budget)
+		n, scanned, err = runNavigational(ds, path, budget)
 	default:
-		n, err = runPlanned(ds, path, sys, budget)
+		n, scanned, err = runPlanned(ds, path, sys, budget)
 	}
 	cell.Elapsed = time.Since(start)
+	cell.Scanned = scanned
 	if err != nil {
 		if errors.Is(err, gov.ErrBudgetExceeded) || errors.Is(err, gov.ErrCanceled) {
 			cell.DNF = true
@@ -132,24 +141,25 @@ func RunCell(ds *Dataset, q Query, sys System, timeout time.Duration) Cell {
 // runNavigational measures the XH stand-in under the same governed
 // deadline as the planned systems: the step evaluator polls the
 // governor per axis step, so an over-budget navigational cell aborts
-// mid-walk instead of running to completion.
-func runNavigational(ds *Dataset, path *xpath.Path, budget gov.Budget) (int, error) {
+// mid-walk instead of running to completion. The second return is the
+// governor's nodes-scanned accounting.
+func runNavigational(ds *Dataset, path *xpath.Path, budget gov.Budget) (int, int64, error) {
 	g := gov.New(context.Background(), budget, nil)
 	res, err := naveval.EvalPathGov(naveval.SingleDoc(ds.Doc), nil, path, g)
 	if err != nil {
-		return 0, err
+		return 0, g.NodesScanned(), err
 	}
-	return len(res), nil
+	return len(res), g.NodesScanned(), nil
 }
 
 // runPlanned measures a BlossomTree plan under a forced join strategy.
 // PL and NL run index-free (the paper: the pipelined join "does not rely
 // on indexes, thus it resembles a sequential scan operator"); TS gets
 // the tag index it requires.
-func runPlanned(ds *Dataset, path *xpath.Path, sys System, budget gov.Budget) (int, error) {
+func runPlanned(ds *Dataset, path *xpath.Path, sys System, budget gov.Budget) (int, int64, error) {
 	q, err := core.FromPath(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	opts := plan.Options{Stats: ds.Stats, Budget: budget}
 	switch sys {
@@ -161,19 +171,20 @@ func runPlanned(ds *Dataset, path *xpath.Path, sys System, budget gov.Budget) (i
 	case NL:
 		opts.Strategy = plan.BoundedNL
 	default:
-		return 0, fmt.Errorf("bench: unknown system %q", sys)
+		return 0, 0, fmt.Errorf("bench: unknown system %q", sys)
 	}
 	p, err := plan.Build(q, ds.Doc, opts)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	ls, err := p.Execute()
+	scanned := p.StatsTree().TotalScanned()
 	if err != nil {
-		return 0, err
+		return 0, scanned, err
 	}
 	rn, ok := q.Return.ByVar("result")
 	if !ok {
-		return 0, fmt.Errorf("bench: no result slot")
+		return 0, scanned, fmt.Errorf("bench: no result slot")
 	}
 	seen := make(map[int]bool)
 	for _, l := range ls {
@@ -181,7 +192,7 @@ func runPlanned(ds *Dataset, path *xpath.Path, sys System, budget gov.Budget) (i
 			seen[n.Start] = true
 		}
 	}
-	return len(seen), nil
+	return len(seen), scanned, nil
 }
 
 // Table3Config configures a full Table 3 run.
@@ -243,15 +254,19 @@ func RunTable3(cfg Table3Config, progress func(string)) ([]Table3Row, error) {
 
 func runAveraged(ds *Dataset, q Query, sys System, cfg Table3Config) Cell {
 	var total time.Duration
+	var samples []time.Duration
 	var last Cell
 	for i := 0; i < cfg.Repeats; i++ {
 		last = RunCell(ds, q, sys, cfg.Timeout)
+		samples = append(samples, last.Elapsed)
 		if last.DNF || last.Err != nil {
+			last.Samples = samples
 			return last
 		}
 		total += last.Elapsed
 	}
 	last.Elapsed = total / time.Duration(cfg.Repeats)
+	last.Samples = samples
 	return last
 }
 

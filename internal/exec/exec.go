@@ -161,6 +161,9 @@ func (s *snapshot) resolve(uri string) (*xmltree.Document, error) {
 
 // Result is the outcome of a query evaluation.
 type Result struct {
+	// QueryID identifies this evaluation in the query log and the trace
+	// store (GET /trace/{queryID} on the daemon).
+	QueryID   string
 	Query     *core.Query
 	Plan      *plan.Plan // nil for navigational evaluation
 	Instances []*nestedlist.List
@@ -196,7 +199,7 @@ func (e *Engine) EvalOptions(src string, opts plan.Options) (*Result, error) {
 
 // EvalExpr evaluates a parsed query.
 func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
-	return evalExpr(e.snapshot(), expr, opts)
+	return evalExpr(e.snapshot(), expr, opts, "")
 }
 
 // evalExpr evaluates a parsed query against one immutable snapshot, so
@@ -209,8 +212,21 @@ func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
 // before anything is compiled or scanned), governance aborts are
 // counted, and any panic escaping an operator is recovered into an
 // error so one bad query cannot crash a batch worker.
-func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err error) {
+//
+// It is also the telemetry boundary (src is the query text when the
+// caller has it, "" to fall back on the printed expr): each evaluation
+// gets a query ID, observes the query-duration histogram, stores a
+// span trace, and — with Options.Logger — emits a structured log
+// record, on success and failure alike.
+func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options, src string) (res *Result, err error) {
 	t0 := time.Now()
+	tel := &telemetry{queryID: opts.QueryID, src: src, start: t0}
+	if tel.queryID == "" {
+		tel.queryID = NewQueryID()
+	}
+	if tel.src == "" {
+		tel.src = expr.String()
+	}
 	defer func() {
 		obs.Default.Add(obs.MetricQueries, 1)
 		obs.Default.Add(obs.MetricQueryNanos, time.Since(t0).Nanoseconds())
@@ -222,6 +238,10 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err
 		} else if res != nil && res.Plan != nil {
 			recordPlanMetrics(res.Plan)
 		}
+		if res != nil {
+			res.QueryID = tel.queryID
+		}
+		tel.emit(opts, res, err)
 	}()
 	defer func() {
 		if r := recover(); r != nil {
@@ -235,10 +255,12 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err
 		g = gov.New(opts.Ctx, opts.Budget, opts.Fault)
 		opts.Gov = g
 	}
+	tel.gov = g
 	if err := g.CheckNow(); err != nil {
 		return nil, err
 	}
 	if opts.Strategy == plan.Navigational {
+		tel.strategy = "XH"
 		return evalNavigational(s, expr, g)
 	}
 	q, isPath, err := compile(expr)
@@ -259,6 +281,7 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options) (res *Result, err
 	if err != nil {
 		return nil, err
 	}
+	tel.plan = pl
 	instances, err := pl.Execute()
 	if err != nil {
 		return nil, err
@@ -314,10 +337,12 @@ func (e *Engine) ExplainAnalyzeOptions(src string, opts plan.Options) (string, e
 	if _, err := pl.Execute(); err != nil {
 		obs.Default.Add(obs.MetricQueries, 1)
 		obs.Default.Add(obs.MetricQueryErrors, 1)
+		obs.Default.Histogram(obs.HistQueryDuration, obs.LatencyBuckets).ObserveDuration(time.Since(t0))
 		return "", err
 	}
 	obs.Default.Add(obs.MetricQueries, 1)
 	obs.Default.Add(obs.MetricQueryNanos, time.Since(t0).Nanoseconds())
+	obs.Default.Histogram(obs.HistQueryDuration, obs.LatencyBuckets).ObserveDuration(time.Since(t0))
 	recordPlanMetrics(pl)
 	return pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(true), nil
 }

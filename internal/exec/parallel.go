@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,7 +32,12 @@ func (e *Engine) EvalBatch(srcs []string, opts plan.Options, workers int) []Batc
 	}
 	snap := e.snapshot()
 	run := func(i int) {
-		res, err := evalSource(snap, srcs[i], opts)
+		// Distinct query IDs per batch entry, as in EvalAllDocs.
+		qopts := opts
+		if qopts.QueryID != "" {
+			qopts.QueryID = fmt.Sprintf("%s-%d", qopts.QueryID, i)
+		}
+		res, err := evalSource(snap, srcs[i], qopts)
 		out[i] = BatchResult{Query: srcs[i], Result: res, Err: err}
 	}
 	forEachIndex(len(srcs), workers, run)
@@ -66,7 +72,14 @@ func (e *Engine) EvalAllDocs(src string, opts plan.Options, workers int) ([]DocR
 	sort.Strings(uris)
 	out := make([]DocResult, len(uris))
 	run := func(i int) {
-		res, evalErr := evalExpr(snap.pin(uris[i]), expr, opts)
+		// Per-document evaluations get distinct query IDs even when the
+		// caller pinned one: a shared ID would make the trace store and
+		// query log collapse the fan-out into one record.
+		docOpts := opts
+		if docOpts.QueryID != "" {
+			docOpts.QueryID = fmt.Sprintf("%s-%s", docOpts.QueryID, uris[i])
+		}
+		res, evalErr := evalExpr(snap.pin(uris[i]), expr, docOpts, src)
 		out[i] = DocResult{URI: uris[i], Result: res, Err: evalErr}
 	}
 	forEachIndex(len(uris), workers, run)
@@ -79,7 +92,7 @@ func evalSource(s *snapshot, src string, opts plan.Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return evalExpr(s, expr, opts)
+	return evalExpr(s, expr, opts, src)
 }
 
 // pin derives a single-document snapshot: every URI resolves to the

@@ -298,6 +298,22 @@ func (g *Governor) Outputs() int64 {
 	return g.out.Load()
 }
 
+// Verdict classifies an evaluation outcome for the structured query
+// log: "ok" on success, "canceled" / "budget_exceeded" for governed
+// aborts, "error" for everything else.
+func Verdict(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget_exceeded"
+	default:
+		return "error"
+	}
+}
+
 // StopFunc adapts the governor to the legacy Stop-polling interface
 // (bench DNF cutoffs): it reports true once any violation is recorded.
 func (g *Governor) StopFunc() func() bool {

@@ -44,17 +44,22 @@ func (c *Counter) Load() int64 {
 	return c.v.Load()
 }
 
-// Registry is a named set of counters. Registration is guarded by a
-// mutex; the counters themselves are lock-free, so the hot path (Add on
-// an already-obtained *Counter) never contends.
+// Registry is a named set of counters and histograms. Registration is
+// guarded by a mutex; the instruments themselves are lock-free, so the
+// hot path (Add on an already-obtained *Counter, Observe on a
+// *Histogram) never contends.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter)}
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
 }
 
 // Default is the process-wide registry the engine reports into.
@@ -75,6 +80,39 @@ func (r *Registry) Counter(name string) *Counter {
 // Add bumps the named counter by n (registering it if needed).
 func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
 
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Later calls return the existing
+// histogram regardless of the bounds they pass, so callers on the hot
+// path may re-resolve by name without re-specifying buckets.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(name, bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Observe records one observation on the named histogram, creating it
+// with LatencyBuckets on first use.
+func (r *Registry) Observe(name string, v float64) {
+	r.Histogram(name, LatencyBuckets).Observe(v)
+}
+
+// Histograms returns the registered histograms, sorted by name.
+func (r *Registry) Histograms() []*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 // Snapshot returns a point-in-time copy of every counter's value.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
@@ -87,13 +125,21 @@ func (r *Registry) Snapshot() map[string]int64 {
 }
 
 // Delta subtracts an earlier snapshot from the current values, keeping
-// only counters that moved.
+// only counters that moved. Counters present only in before (e.g.
+// after the registry was swapped or reset between snapshots) are
+// reported with negative deltas rather than dropped, so a delta always
+// reconciles the two snapshots exactly.
 func (r *Registry) Delta(before map[string]int64) map[string]int64 {
 	now := r.Snapshot()
 	out := make(map[string]int64)
 	for name, v := range now {
 		if d := v - before[name]; d != 0 {
 			out[name] = d
+		}
+	}
+	for name, v := range before {
+		if _, ok := now[name]; !ok && v != 0 {
+			out[name] = -v
 		}
 	}
 	return out
@@ -130,4 +176,13 @@ const (
 	// MetricQueryPanics counts operator panics converted to errors at
 	// the executor boundary.
 	MetricQueryPanics = "query_panics_total"
+	// MetricSlowQueries counts queries whose latency met or exceeded the
+	// configured slow-query threshold.
+	MetricSlowQueries = "slow_queries_total"
 )
+
+// HistQueryDuration is the registry name of the query-latency histogram
+// every evaluation observes into (seconds; LatencyBuckets bounds). The
+// Prometheus exposition renders it as
+// blossomtree_query_duration_seconds.
+const HistQueryDuration = "query_duration_seconds"

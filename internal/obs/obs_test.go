@@ -26,6 +26,25 @@ func TestRegistryCountersAndDelta(t *testing.T) {
 	}
 }
 
+func TestDeltaKeepsCountersOnlyInBefore(t *testing.T) {
+	// Regression: Delta used to drop counters present only in the
+	// before-snapshot (a registry swapped or reset between snapshots),
+	// silently unbalancing the reconciliation. They must surface as
+	// negative deltas.
+	r := NewRegistry()
+	r.Add("a", 7)
+	d := r.Delta(map[string]int64{"a": 2, "gone": 5, "zero": 0})
+	if d["a"] != 5 {
+		t.Errorf("a delta = %d, want 5", d["a"])
+	}
+	if d["gone"] != -5 {
+		t.Errorf("counter only in before: delta = %d, want -5", d["gone"])
+	}
+	if _, ok := d["zero"]; ok {
+		t.Error("zero-valued before-only counter should be omitted")
+	}
+}
+
 func TestRegistryConcurrentAdds(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a registry: every
+// counter renders as a counter family, every histogram as a histogram
+// family with cumulative le buckets, _sum and _count. Names are
+// namespaced under "blossomtree_" so a scrape of several processes
+// stays attributable; characters outside [a-zA-Z0-9_:] are mapped to
+// '_' to keep arbitrary registry names valid.
+
+// PromNamespace prefixes every exposed metric name.
+const PromNamespace = "blossomtree_"
+
+// promName maps a registry name to a valid namespaced Prometheus name.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString(PromNamespace)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat formats a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry — counters and histograms — in
+// Prometheus text exposition format, families sorted by name. Safe to
+// call concurrently with evaluations; each value is a point-in-time
+// atomic load.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedCounterNames(r) {
+		c := r.Counter(name)
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, c.Load()); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.Histograms() {
+		if err := writePromHistogram(w, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedCounterNames(r *Registry) []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+func writePromHistogram(w io.Writer, h *Histogram) error {
+	pn := promName(h.Name())
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	bounds := h.Bounds()
+	counts := h.Counts()
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+		return err
+	}
+	// _count repeats the +Inf cumulative count (they must agree within
+	// one exposition even while observations race the scrape).
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum()), pn, cum)
+	return err
+}
+
+// PrometheusText renders WritePrometheus into a string.
+func (r *Registry) PrometheusText() string {
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"log/slog"
+	"time"
+)
+
+// Structured query logging: one slog record per evaluation with the
+// fields operators of a serving deployment grep for (query ID, query
+// hash, strategy, governance verdict, work, latency), plus slow-query
+// capture — a query at or past the threshold logs at Warn with its full
+// EXPLAIN ANALYZE tree attached, rendered lazily so fast queries never
+// pay for it.
+
+// QueryHash returns a short stable content hash of a query text, so
+// logs can group repeated queries without storing (possibly sensitive
+// or huge) query bodies.
+func QueryHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
+}
+
+// QueryLogEntry is one evaluation's log record.
+type QueryLogEntry struct {
+	QueryID   string
+	QueryHash string
+	// Strategy is the executed join strategy ("PL", "TS", "XH", …), or
+	// "" when the query failed before planning.
+	Strategy string
+	// Verdict is the governance outcome: "ok", "canceled",
+	// "budget_exceeded", or "error".
+	Verdict      string
+	NodesScanned int64
+	RowsOut      int64
+	Latency      time.Duration
+	// Err is the evaluation error message, "" on success.
+	Err string
+	// Explain lazily renders the query's EXPLAIN ANALYZE tree; it is
+	// called at most once, and only for slow queries.
+	Explain func() string
+}
+
+// QueryLog emits structured query records to a slog.Logger. The zero
+// value and a nil logger are valid no-ops, so the telemetry pipeline
+// costs nothing when logging is not configured.
+type QueryLog struct {
+	// Logger receives one record per evaluation; nil disables logging.
+	Logger *slog.Logger
+	// SlowThreshold promotes queries with Latency >= SlowThreshold to
+	// Warn level with the EXPLAIN ANALYZE payload attached; 0 disables
+	// slow-query capture.
+	SlowThreshold time.Duration
+	// Registry counts slow queries (MetricSlowQueries); nil skips the
+	// counter.
+	Registry *Registry
+}
+
+// Record logs one evaluation. Slow queries (threshold configured and
+// met) log at Warn with the explain payload; everything else logs at
+// Info.
+func (l *QueryLog) Record(e QueryLogEntry) {
+	if l == nil || l.Logger == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("query_id", e.QueryID),
+		slog.String("query_hash", e.QueryHash),
+		slog.String("strategy", e.Strategy),
+		slog.String("verdict", e.Verdict),
+		slog.Int64("nodes_scanned", e.NodesScanned),
+		slog.Int64("rows_out", e.RowsOut),
+		slog.Duration("latency", e.Latency),
+	}
+	if e.Err != "" {
+		attrs = append(attrs, slog.String("error", e.Err))
+	}
+	level := slog.LevelInfo
+	if l.SlowThreshold > 0 && e.Latency >= l.SlowThreshold {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.Bool("slow", true))
+		if e.Explain != nil {
+			attrs = append(attrs, slog.String("explain", e.Explain()))
+		}
+		if l.Registry != nil {
+			l.Registry.Add(MetricSlowQueries, 1)
+		}
+	}
+	l.Logger.LogAttrs(context.Background(), level, "query", attrs...)
+}

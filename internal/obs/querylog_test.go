@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryHashStable(t *testing.T) {
+	a, b := QueryHash("//book/title"), QueryHash("//book/title")
+	if a != b || len(a) != 16 {
+		t.Errorf("QueryHash not stable 16-hex: %q vs %q", a, b)
+	}
+	if QueryHash("//other") == a {
+		t.Error("distinct queries should hash differently")
+	}
+}
+
+func TestQueryLogLevelsAndSlowCapture(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	explainCalls := 0
+	l := &QueryLog{
+		Logger:        slog.New(slog.NewJSONHandler(&buf, nil)),
+		SlowThreshold: 100 * time.Millisecond,
+		Registry:      reg,
+	}
+	entry := QueryLogEntry{
+		QueryID:   "q-1",
+		QueryHash: QueryHash("//a"),
+		Strategy:  "PL",
+		Verdict:   "ok",
+		Latency:   time.Millisecond,
+		Explain:   func() string { explainCalls++; return "Join\n└─ Scan" },
+	}
+	l.Record(entry)
+
+	entry.QueryID = "q-2"
+	entry.Latency = 200 * time.Millisecond
+	l.Record(entry)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("log lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	var fast, slow map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if fast["level"] != "INFO" || fast["slow"] != nil || fast["explain"] != nil {
+		t.Errorf("fast query record = %v", fast)
+	}
+	if slow["level"] != "WARN" || slow["slow"] != true {
+		t.Errorf("slow query record = %v", slow)
+	}
+	if slow["explain"] != "Join\n└─ Scan" {
+		t.Errorf("slow record explain = %v", slow["explain"])
+	}
+	// The explain payload is rendered lazily: only the slow query pays.
+	if explainCalls != 1 {
+		t.Errorf("Explain called %d times, want 1 (slow query only)", explainCalls)
+	}
+	if got := reg.Counter(MetricSlowQueries).Load(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricSlowQueries, got)
+	}
+	if fast["query_hash"] != QueryHash("//a") || fast["strategy"] != "PL" {
+		t.Errorf("missing identity fields: %v", fast)
+	}
+}
+
+func TestQueryLogNilSafety(t *testing.T) {
+	var l *QueryLog
+	l.Record(QueryLogEntry{QueryID: "q"}) // must not panic
+	(&QueryLog{}).Record(QueryLogEntry{QueryID: "q"})
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// statsTree builds Join(ScanA, Filter(ScanB)) — a shape with both a
+// leaf sibling and a nested child.
+func statsTree() *OpStats {
+	root := NewOpStats("Join", "a//b")
+	scanA := NewOpStats("ScanA", "NoK0")
+	filter := NewOpStats("Filter", "pred")
+	scanB := NewOpStats("ScanB", "NoK1")
+	filter.Adopt(scanB)
+	root.Adopt(scanA, filter)
+	scanA.AddScanned(10)
+	scanB.AddScanned(20)
+	root.AddEmitted(3)
+	return root
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("q-1", statsTree(), 5*time.Millisecond)
+	// Depth-first operator order, matching EXPLAIN ANALYZE's rendering.
+	want := []string{"Join", "ScanA", "Filter", "ScanB"}
+	if got := tr.SpanNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SpanNames = %v, want %v", got, want)
+	}
+	// One query-level wrapper plus the four operators.
+	if len(tr.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(tr.TraceEvents))
+	}
+	q := tr.TraceEvents[0]
+	if q.Cat != "query" || q.Ph != "X" || q.Dur != 5000 {
+		t.Errorf("query span = %+v", q)
+	}
+	// Spans nest: every operator stays inside the query window, and the
+	// root operator covers the whole of it (zero-elapsed tree spreads to
+	// the wall time).
+	for _, ev := range tr.TraceEvents[1:] {
+		if ev.Ts < 0 || ev.Ts+ev.Dur > q.Dur+1e-9 {
+			t.Errorf("span %s [%g, %g] escapes query window %g", ev.Name, ev.Ts, ev.Ts+ev.Dur, q.Dur)
+		}
+	}
+	// Work counters ride along in args even without Analyze timing.
+	var scanA *TraceEvent
+	for i := range tr.TraceEvents {
+		if tr.TraceEvents[i].Name == "ScanA" {
+			scanA = &tr.TraceEvents[i]
+		}
+	}
+	if scanA == nil || scanA.Args["scanned"] != int64(10) {
+		t.Errorf("ScanA args = %+v", scanA)
+	}
+}
+
+func TestTraceNilStats(t *testing.T) {
+	tr := NewTrace("q-nav", nil, time.Millisecond)
+	if len(tr.TraceEvents) != 1 || tr.TraceEvents[0].Cat != "query" {
+		t.Errorf("nil-stats trace = %+v", tr.TraceEvents)
+	}
+	if tr.SpanNames() != nil {
+		t.Errorf("SpanNames = %v, want none", tr.SpanNames())
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	b := NewTrace("q-2", statsTree(), time.Millisecond).JSON()
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(decoded.TraceEvents) != 5 {
+		t.Errorf("decoded events = %d, want 5", len(decoded.TraceEvents))
+	}
+	if decoded.OtherData["queryID"] != "q-2" {
+		t.Errorf("otherData = %v", decoded.OtherData)
+	}
+	// Chrome's loader requires ph and numeric ts/dur on every event.
+	for _, ev := range decoded.TraceEvents {
+		if ev["ph"] != "X" {
+			t.Errorf("event ph = %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event ts not numeric: %v", ev["ts"])
+		}
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	ts := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		ts.Put(fmt.Sprintf("q-%d", i), NewTrace("x", nil, 0))
+	}
+	if ts.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (capacity)", ts.Len())
+	}
+	if _, ok := ts.Get("q-0"); ok {
+		t.Error("oldest trace should be evicted")
+	}
+	if _, ok := ts.Get("q-4"); !ok {
+		t.Error("newest trace should be retained")
+	}
+	// Overwriting an existing ID must not evict or grow.
+	ts.Put("q-4", NewTrace("x", nil, 0))
+	if ts.Len() != 3 {
+		t.Errorf("Len after overwrite = %d, want 3", ts.Len())
+	}
+	// Nil-safety and empty IDs.
+	var nilStore *TraceStore
+	nilStore.Put("q", nil)
+	if _, ok := nilStore.Get("q"); ok || nilStore.Len() != 0 {
+		t.Error("nil store should be inert")
+	}
+	ts.Put("", NewTrace("x", nil, 0))
+	if ts.Len() != 3 {
+		t.Error("empty query ID should not be stored")
+	}
+}

@@ -19,7 +19,9 @@ package plan
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
+	"time"
 
 	"blossomtree/internal/core"
 	"blossomtree/internal/fault"
@@ -108,6 +110,17 @@ type Options struct {
 	// instead of building one from Ctx/Budget/Fault (the executor
 	// shares one governor between planning and residual evaluation).
 	Gov *gov.Governor
+	// QueryID identifies the evaluation in the query log, the latency
+	// histogram's trace store, and the daemon's /trace endpoint. Empty
+	// means the executor generates one.
+	QueryID string
+	// Logger, when non-nil, receives one structured record per
+	// evaluation (query ID, hash, strategy, verdict, work, latency).
+	Logger *slog.Logger
+	// SlowQueryThreshold promotes evaluations at or past the threshold
+	// to Warn-level log records carrying the full EXPLAIN ANALYZE tree;
+	// 0 disables slow-query capture.
+	SlowQueryThreshold time.Duration
 }
 
 // governor returns the options' governor, building one on demand.

@@ -1,0 +1,213 @@
+// Package server is the HTTP serving layer of the blossomd daemon: a
+// long-running engine process with per-request query evaluation
+// (POST /query, honoring a per-request budget), Prometheus metrics
+// exposition (GET /metrics), per-query trace export
+// (GET /trace/{queryID}), and the standard pprof endpoints
+// (GET /debug/pprof/*). Every evaluation flows through the same
+// telemetry pipeline as the CLI and bench harness: query-duration
+// histogram, trace store, structured query log.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"blossomtree"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine serves the queries. Required.
+	Engine *blossomtree.Engine
+	// Logger receives the structured query log and daemon events; nil
+	// disables logging.
+	Logger *slog.Logger
+	// SlowQueryThreshold is passed to every evaluation (see
+	// blossomtree.Options.SlowQueryThreshold).
+	SlowQueryThreshold time.Duration
+	// MaxBodyBytes caps POST /query request bodies; <= 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxRequestTimeout caps the per-request budget a client may ask
+	// for (and is the default when the request sets none); <= 0 means
+	// no cap is applied.
+	MaxRequestTimeout time.Duration
+}
+
+// Server handles the daemon's HTTP API.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds a server around an engine.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace/{queryID}", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is the XPath or FLWOR expression. Required.
+	Query string `json:"query"`
+	// Strategy forces a join strategy ("auto", "pipelined",
+	// "bounded-nl", "twigstack", "navigational", "cost"); default auto.
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS / MaxNodes / MaxOutput form the per-request
+	// Options.Budget; zero values mean unlimited (subject to the
+	// server's MaxRequestTimeout cap).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	MaxNodes  int64 `json:"max_nodes,omitempty"`
+	MaxOutput int64 `json:"max_output,omitempty"`
+	// Analyze enables per-operator wall-clock timing, so the response's
+	// explain tree and the stored trace carry real durations.
+	Analyze bool `json:"analyze,omitempty"`
+	// Explain includes the executed plan's EXPLAIN ANALYZE tree in the
+	// response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	QueryID   string              `json:"query_id"`
+	Strategy  string              `json:"strategy,omitempty"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+	Count     int                 `json:"count"`
+	XML       string              `json:"xml,omitempty"`
+	Nodes     []string            `json:"nodes,omitempty"`
+	Rows      []map[string]string `json:"rows,omitempty"`
+	Explain   string              `json:"explain,omitempty"`
+	TraceURL  string              `json:"trace_url"`
+	Error     string              `json:"error,omitempty"`
+	Verdict   string              `json:"verdict"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "bad request body: " + err.Error(), Verdict: "error"})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "missing query", Verdict: "error"})
+		return
+	}
+
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if cap := s.cfg.MaxRequestTimeout; cap > 0 && (timeout <= 0 || timeout > cap) {
+		timeout = cap
+	}
+	// The ID is generated before evaluation so failed queries stay
+	// attributable in the log and the response.
+	qid := blossomtree.NewQueryID()
+	opts := blossomtree.Options{
+		Strategy: blossomtree.Strategy(req.Strategy),
+		Analyze:  req.Analyze,
+		Budget: blossomtree.Budget{
+			MaxNodes:  req.MaxNodes,
+			MaxOutput: req.MaxOutput,
+			Timeout:   timeout,
+		},
+		Logger:             s.cfg.Logger,
+		SlowQueryThreshold: s.cfg.SlowQueryThreshold,
+		QueryID:            qid,
+	}
+
+	start := time.Now()
+	res, err := s.cfg.Engine.QueryWithContext(r.Context(), req.Query, opts)
+	resp := QueryResponse{
+		QueryID:   qid,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		TraceURL:  "/trace/" + qid,
+		Verdict:   blossomtree.Verdict(err),
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, blossomtree.ErrBudgetExceeded) || errors.Is(err, blossomtree.ErrCanceled) {
+			status = http.StatusRequestTimeout
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	if pl := res.Plan(); pl != "" {
+		// Plan() renders the whole decomposition; only its
+		// "plan strategy: …" headline belongs in the response.
+		resp.Strategy = strings.TrimPrefix(firstLine(pl), "plan strategy: ")
+	} else {
+		resp.Strategy = "XH" // navigational evaluation has no plan
+	}
+	resp.Count = res.Len()
+	resp.XML = res.XML()
+	for _, n := range res.Nodes() {
+		resp.Nodes = append(resp.Nodes, n.XML())
+	}
+	for _, row := range res.Rows() {
+		m := make(map[string]string, len(row))
+		for v, ns := range row {
+			var xml string
+			for _, n := range ns {
+				xml += n.XML()
+			}
+			m[v] = xml
+		}
+		resp.Rows = append(resp.Rows, m)
+	}
+	if req.Explain {
+		resp.Explain = res.ExplainAnalyze()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := blossomtree.WritePrometheus(w); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("metrics exposition failed", "error", err)
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("queryID")
+	b, ok := blossomtree.TraceJSON(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no trace for query %q (traces are retained for recent queries only)", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

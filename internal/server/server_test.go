@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blossomtree"
+)
+
+const bib = `<bib>
+<book year="1994"><title>Maximum Security</title><price>39</price></book>
+<book year="1997"><title>The Art of Computer Programming</title>
+ <author><last>Knuth</last><first>Donald</first></author><price>120</price></book>
+<book year="2003"><title>Terrorist Hunter</title><price>25</price></book>
+<book year="1984"><title>TeX Book</title>
+ <author><last>Knuth</last><first>Donald</first></author><price>30</price></book>
+</bib>`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	e := blossomtree.NewEngine()
+	if err := e.LoadString("bib.xml", bib); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Engine: e, MaxRequestTimeout: 5 * time.Second}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest) (int, QueryResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpRes, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	var res QueryResponse
+	if err := json.NewDecoder(httpRes.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return httpRes.StatusCode, res
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	status, res := postQuery(t, ts, QueryRequest{Query: `//book[price<50]/title`, Explain: true})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %+v", status, res)
+	}
+	if res.Count != 3 || len(res.Nodes) != 3 {
+		t.Errorf("count = %d, nodes = %d, want 3", res.Count, len(res.Nodes))
+	}
+	if res.QueryID == "" || res.TraceURL != "/trace/"+res.QueryID {
+		t.Errorf("query_id = %q, trace_url = %q", res.QueryID, res.TraceURL)
+	}
+	if res.Verdict != "ok" || res.Error != "" {
+		t.Errorf("verdict = %q, error = %q", res.Verdict, res.Error)
+	}
+	if res.Strategy == "" || strings.Contains(res.Strategy, "\n") {
+		t.Errorf("strategy = %q, want a single-line strategy name", res.Strategy)
+	}
+	if res.Explain == "" {
+		t.Error("explain requested but missing")
+	}
+}
+
+func TestQueryEndpointFLWOR(t *testing.T) {
+	ts := newTestServer(t)
+	status, res := postQuery(t, ts, QueryRequest{Query: `for $b in doc("bib.xml")//book
+		where $b/price < 50 return $b/title`})
+	if status != http.StatusOK || res.Count != 3 {
+		t.Fatalf("status = %d, count = %d, want 200/3", status, res.Count)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(res.Rows))
+	}
+	if !strings.Contains(res.Rows[0]["b"], "<title>") {
+		t.Errorf("row binding = %v", res.Rows[0])
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+
+	status, res := postQuery(t, ts, QueryRequest{Query: `//book[`})
+	if status != http.StatusUnprocessableEntity || res.Error == "" || res.Verdict != "error" {
+		t.Errorf("parse error: status = %d, %+v", status, res)
+	}
+	// A failed query is still attributable: it has an ID and a trace URL.
+	if res.QueryID == "" {
+		t.Error("failed query should carry a query ID")
+	}
+
+	status, res = postQuery(t, ts, QueryRequest{Query: ``})
+	if status != http.StatusBadRequest {
+		t.Errorf("missing query: status = %d", status)
+	}
+
+	httpRes, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status = %d", httpRes.StatusCode)
+	}
+
+	// A budget the query cannot fit in maps to 408 with the governance
+	// verdict.
+	status, res = postQuery(t, ts, QueryRequest{Query: `//book//last`, MaxNodes: 1})
+	if status != http.StatusRequestTimeout || res.Verdict != "budget_exceeded" {
+		t.Errorf("budget abort: status = %d, %+v", status, res)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// At least one evaluation so the latency histogram is non-empty.
+	if status, _ := postQuery(t, ts, QueryRequest{Query: `//book/title`}); status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	httpRes, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if ct := httpRes.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	b, err := io.ReadAll(httpRes.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		"# TYPE blossomtree_query_duration_seconds histogram",
+		`blossomtree_query_duration_seconds_bucket{le="+Inf"}`,
+		"blossomtree_queries_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The histogram must have recorded the query above (obs.Default is
+	// process-wide, so assert non-zero rather than an exact count).
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "blossomtree_query_duration_seconds_count") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("latency histogram empty after a query: %s", line)
+			}
+			return
+		}
+	}
+	t.Error("no query_duration_seconds_count line in exposition")
+}
+
+func TestTraceEndpointMatchesExplain(t *testing.T) {
+	ts := newTestServer(t)
+	status, res := postQuery(t, ts, QueryRequest{Query: `//book//last`, Analyze: true, Explain: true})
+	if status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	httpRes, err := http.Get(ts.URL + res.TraceURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", httpRes.StatusCode)
+	}
+	if ct := httpRes.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.NewDecoder(httpRes.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.OtherData["queryID"] != res.QueryID {
+		t.Errorf("trace otherData = %v, want queryID %q", tr.OtherData, res.QueryID)
+	}
+	// The span tree matches the operator sites of the query's EXPLAIN
+	// ANALYZE: one operator span per tree line, same names, same order.
+	var explainOps []string
+	for _, line := range strings.Split(strings.TrimRight(res.Explain, "\n"), "\n") {
+		if !strings.HasPrefix(line, "plan strategy:") {
+			explainOps = append(explainOps, line)
+		}
+	}
+	var spans []string
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat == "operator" {
+			spans = append(spans, ev.Name)
+		}
+	}
+	if len(spans) == 0 || len(spans) != len(explainOps) {
+		t.Fatalf("operator spans = %v, explain lines = %v", spans, explainOps)
+	}
+	for i, name := range spans {
+		if !strings.Contains(explainOps[i], name) {
+			t.Errorf("explain line %d %q does not contain span %q", i, explainOps[i], name)
+		}
+	}
+}
+
+func TestTraceEndpointUnknownID(t *testing.T) {
+	ts := newTestServer(t)
+	httpRes, err := http.Get(ts.URL + "/trace/no-such-query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", httpRes.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(httpRes.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Error("404 body should explain the miss")
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	httpRes, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", httpRes.StatusCode)
+	}
+}
+
+func TestRequestBodyLimit(t *testing.T) {
+	e := blossomtree.NewEngine()
+	if err := e.LoadString("bib.xml", bib); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{Engine: e, MaxBodyBytes: 64}))
+	defer ts.Close()
+	big, err := json.Marshal(QueryRequest{Query: "//" + strings.Repeat("x", 200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpRes, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d, want 400", httpRes.StatusCode)
+	}
+}

@@ -114,6 +114,10 @@ func newResult(r *exec.Result) *Result {
 	return res
 }
 
+// QueryID identifies this evaluation in the structured query log and
+// the trace store (TraceJSON, blossomd's GET /trace/{queryID}).
+func (r *Result) QueryID() string { return r.inner.QueryID }
+
 // Nodes returns a path query's result nodes (distinct, document order).
 // For FLWOR queries whose return clause is a bare variable/path, use
 // Rows.

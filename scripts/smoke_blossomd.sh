@@ -1,0 +1,103 @@
+#!/bin/sh
+# Smoke test for the blossomd daemon: boot it on a random port against a
+# generated dataset, run one query over HTTP, scrape /metrics and assert
+# the query-latency histogram recorded it, fetch the query's trace, then
+# shut the daemon down with SIGTERM and require a clean exit.
+#
+# Run from the repo root (make smoke does).
+set -eu
+
+workdir=$(mktemp -d)
+bin="$workdir/blossomd"
+out="$workdir/stdout"
+log="$workdir/stderr"
+
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "smoke: building blossomd"
+go build -o "$bin" ./cmd/blossomd
+
+"$bin" -addr 127.0.0.1:0 -gen d2:2000 -slow-query 1ns >"$out" 2>"$log" &
+pid=$!
+
+# The daemon announces "blossomd listening on <addr>" on stdout once
+# the listener is up; poll for it rather than sleeping a fixed time.
+addr=
+for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: daemon died during startup" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    addr=$(sed -n 's/^blossomd listening on //p' "$out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke: daemon never announced its address" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "smoke: daemon up at $addr"
+
+# One query over HTTP. d2 is the synthetic "address book" dataset; this
+# is its Q1 shape.
+resp=$(curl -sS -X POST "http://$addr/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "//addresses//street_address", "analyze": true}')
+echo "smoke: query response: $(printf %s "$resp" | head -c 200)"
+case $resp in
+*'"verdict":"ok"'*) ;;
+*)
+    echo "smoke: query did not succeed: $resp" >&2
+    exit 1
+    ;;
+esac
+qid=$(printf %s "$resp" | sed -n 's/.*"query_id":"\([^"]*\)".*/\1/p')
+if [ -z "$qid" ]; then
+    echo "smoke: response has no query_id: $resp" >&2
+    exit 1
+fi
+
+# The metrics exposition must contain a non-empty query-latency
+# histogram.
+metrics=$(curl -sS "http://$addr/metrics")
+count=$(printf '%s\n' "$metrics" | sed -n 's/^blossomtree_query_duration_seconds_count //p')
+if [ -z "$count" ] || [ "$count" -lt 1 ]; then
+    echo "smoke: query_duration_seconds histogram empty or missing:" >&2
+    printf '%s\n' "$metrics" | head -40 >&2
+    exit 1
+fi
+printf '%s\n' "$metrics" | grep -q '^blossomtree_query_duration_seconds_bucket{le="+Inf"}' || {
+    echo "smoke: histogram buckets missing from exposition" >&2
+    exit 1
+}
+echo "smoke: metrics OK (histogram count=$count)"
+
+# The query's trace must be retrievable as Chrome trace-event JSON.
+trace=$(curl -sS "http://$addr/trace/$qid")
+case $trace in
+*'"traceEvents"'*) ;;
+*)
+    echo "smoke: trace for $qid missing traceEvents: $trace" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: trace OK for $qid"
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "smoke: daemon exited $status on SIGTERM" >&2
+    cat "$log" >&2
+    exit 1
+fi
+echo "smoke: clean shutdown"
+echo "smoke: PASS"
