@@ -39,7 +39,7 @@ check: vet race stress smoke
 # draining are exercised across interleavings.
 stress:
 	$(GO) test -race -timeout 120s -count=3 \
-		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits' \
+		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits|PreparedRace|PlanCache' \
 		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault .
 
 # Daemon smoke: build blossomd, boot it on a random port, POST one

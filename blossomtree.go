@@ -29,6 +29,7 @@
 package blossomtree
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -274,6 +275,60 @@ func (e *Engine) QueryWith(src string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res, err := e.inner.EvalOptions(src, popts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
+
+// Prepared is a parsed, compile-checked query bound to an engine — the
+// prepared-statement form of Query. Preparing parses once, surfaces
+// syntax and planning errors immediately, and warms the process-wide
+// compiled-plan cache; every Run then reuses the cached plan while the
+// document catalog is unchanged, and transparently recompiles after
+// any Load*. A Prepared is immutable and safe for concurrent Runs.
+type Prepared struct {
+	inner *exec.Prepared
+}
+
+// Prepare parses and compile-checks a query for repeated execution
+// with the Auto strategy.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	return e.PrepareWith(src, Options{})
+}
+
+// PrepareWith is Prepare with explicit options. The options are
+// captured by the prepared query; per-run cancellation is supplied to
+// RunContext.
+func (e *Engine) PrepareWith(src string, opts Options) (*Prepared, error) {
+	popts, err := opts.toPlan()
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.inner.Prepare(src, popts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{inner: p}, nil
+}
+
+// Source returns the prepared query's text.
+func (p *Prepared) Source() string { return p.inner.Source() }
+
+// Run evaluates the prepared query against the engine's current
+// document catalog.
+func (p *Prepared) Run() (*Result, error) {
+	res, err := p.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
+
+// RunContext is Run under a context: the evaluation aborts with
+// ErrCanceled when ctx is canceled or its deadline passes.
+func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
+	res, err := p.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = no limit)")
 		maxNodes  = flag.Int64("max-nodes", 0, "abort after scanning this many document/index nodes (0 = no limit)")
 		maxOutput = flag.Int64("max-output", 0, "abort after producing this many result tuples (0 = no limit)")
+		repeat    = flag.Int("repeat", 1, "prepare the query once and run it N times (the prepared-statement path; repeated runs hit the plan cache)")
 		logQuery  = flag.Bool("log", false, "emit the structured query-log record (the daemon's pipeline) to stderr")
 		slow      = flag.Duration("slow-query", 0, "log the query at Warn with its EXPLAIN ANALYZE tree when at/past this latency (implies -log; 0 = off)")
 	)
@@ -100,7 +101,21 @@ func main() {
 		return
 	}
 
-	res, err := eng.QueryWithContext(ctx, query, opts)
+	var res *blossomtree.Result
+	var err error
+	if *repeat > 1 {
+		p, perr := eng.PrepareWith(query, opts)
+		if perr != nil {
+			fatal(perr)
+		}
+		for i := 0; i < *repeat; i++ {
+			if res, err = p.RunContext(ctx); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		res, err = eng.QueryWithContext(ctx, query, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -110,15 +125,15 @@ func main() {
 		return
 	}
 	switch {
+	case len(res.Nodes()) > 0:
+		for _, n := range res.Nodes() {
+			fmt.Println(n.XML())
+		}
 	case res.XML() != "":
 		if *indent {
 			fmt.Println(res.XMLIndent())
 		} else {
 			fmt.Println(res.XML())
-		}
-	case len(res.Nodes()) > 0:
-		for _, n := range res.Nodes() {
-			fmt.Println(n.XML())
 		}
 	default:
 		for i, row := range res.Rows() {

@@ -1,0 +1,163 @@
+package blossomtree
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// End-to-end coverage of the prepared-query API and the PR's language
+// fixes (order-by modifiers, text() steps, node-result serialization)
+// through the public surface.
+
+func TestPreparedQuery(t *testing.T) {
+	e := newBib(t)
+	p, err := e.Prepare(`//book[author/last="Knuth"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes()) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(res.Nodes()))
+	}
+	if !res.Cached() {
+		t.Error("first Run after Prepare was not served from the plan cache")
+	}
+
+	// A load invalidates the cached plan; the next run recompiles and
+	// sees the new catalog.
+	if err := e.LoadString("more.xml", `<bib><book><author><last>Knuth</last></author><title>X</title></book></bib>`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached() {
+		t.Error("Run after LoadString reused a stale plan")
+	}
+
+	if _, err := e.Prepare(`//book[`); err == nil {
+		t.Error("Prepare accepted a broken query")
+	}
+	if _, err := e.PrepareWith(`//book`, Options{Strategy: "bogus"}); err == nil {
+		t.Error("PrepareWith accepted an unknown strategy")
+	}
+}
+
+func TestQueryCachedFlag(t *testing.T) {
+	e := newBib(t)
+	res, err := e.Query(`//book/price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached() {
+		t.Error("first Query reported cached")
+	}
+	res, err = e.Query(`//book/price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached() {
+		t.Error("repeated Query did not report cached")
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	e := newBib(t)
+	asc, err := e.Query(`for $b in doc("bib.xml")//book order by $b/price ascending return $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := e.Query(`for $b in doc("bib.xml")//book order by $b/price descending return $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Len() != 4 || desc.Len() != 4 {
+		t.Fatalf("rows = %d asc, %d desc, want 4 each", asc.Len(), desc.Len())
+	}
+	first := func(r *Result, i int) string {
+		ns := r.Rows()[i]["b"]
+		if len(ns) == 0 {
+			return ""
+		}
+		title := ns[0].Children("title")
+		if len(title) == 0 {
+			return ""
+		}
+		return title[0].Text()
+	}
+	if got := first(asc, 0); got != "Terrorist Hunter" { // price 25
+		t.Errorf("ascending first = %q", got)
+	}
+	if got := first(desc, 0); got != "The Art of Computer Programming" { // price 120
+		t.Errorf("descending first = %q", got)
+	}
+	// descending is ascending reversed (prices are distinct).
+	for i := 0; i < 4; i++ {
+		if first(asc, i) != first(desc, 3-i) {
+			t.Errorf("row %d: ascending %q != reversed descending %q", i, first(asc, i), first(desc, 3-i))
+		}
+	}
+}
+
+func TestTextNodeQuery(t *testing.T) {
+	e := newBib(t)
+	res, err := e.Query(`//book[author/last="Knuth"]/title/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes()) != 2 {
+		t.Fatalf("text nodes = %d, want 2", len(res.Nodes()))
+	}
+	n := res.Nodes()[0]
+	if n.Tag() != "" {
+		t.Errorf("text node Tag = %q, want empty", n.Tag())
+	}
+	if n.Text() != "The Art of Computer Programming" {
+		t.Errorf("text node value = %q", n.Text())
+	}
+	if n.XML() != "The Art of Computer Programming" {
+		t.Errorf("text node XML = %q, want the raw text", n.XML())
+	}
+}
+
+// TestResultXMLNodeFallback: XML()/XMLIndent() on a constructor-less
+// query serialize the node results in document order instead of
+// returning "".
+func TestResultXMLNodeFallback(t *testing.T) {
+	e := newBib(t)
+
+	res, err := e.Query(`//book[author/last="Knuth"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<title>The Art of Computer Programming</title><title>TeX Book</title>`
+	if got := res.XML(); got != want {
+		t.Errorf("XML fallback = %q, want %q", got, want)
+	}
+	if got := res.XMLIndent(); !strings.Contains(got, "\n") {
+		t.Errorf("XMLIndent fallback has no separator: %q", got)
+	}
+
+	// Text-node results serialize as their raw text.
+	res, err = e.Query(`//book[author/last="Knuth"]/title/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.XML(); got != "The Art of Computer ProgrammingTeX Book" {
+		t.Errorf("text XML fallback = %q", got)
+	}
+
+	// Empty result: still "".
+	res, err = e.Query(`//book[author/last="Nobody"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.XML(); got != "" {
+		t.Errorf("empty-result XML = %q, want \"\"", got)
+	}
+}

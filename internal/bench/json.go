@@ -51,17 +51,23 @@ type CellResult struct {
 	P99S  float64 `json:"p99_s"`
 	// ScannedPerQuery is the document/index nodes one run inspected;
 	// OutPerQuery the result nodes it produced.
-	ScannedPerQuery int64 `json:"scanned_per_q"`
-	OutPerQuery     int64 `json:"out_per_q"`
-	DNF             bool  `json:"dnf"`
+	ScannedPerQuery int64  `json:"scanned_per_q"`
+	OutPerQuery     int64  `json:"out_per_q"`
+	DNF             bool   `json:"dnf"`
 	Error           string `json:"error,omitempty"`
 }
 
 // ThroughputResult is one dataset's serial-vs-parallel comparison.
 type ThroughputResult struct {
-	Dataset         string  `json:"dataset"`
-	Queries         int     `json:"queries"`
-	Workers         int     `json:"workers"`
+	Dataset string `json:"dataset"`
+	Queries int    `json:"queries"`
+	Workers int    `json:"workers"`
+	// ColdPassS/WarmPassS time repeated compile (Prepare) passes over
+	// the suite — cold with the plan cache emptied each round, warm with
+	// every Prepare a cache hit; WarmSpeedup is their ratio.
+	ColdPassS       float64 `json:"cold_pass_s"`
+	WarmPassS       float64 `json:"warm_pass_s"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
 	SerialQPS       float64 `json:"serial_qps"`
 	ParallelQPS     float64 `json:"parallel_qps"`
 	Speedup         float64 `json:"speedup"`
@@ -125,6 +131,9 @@ func ThroughputResults(rows []ThroughputRow) []ThroughputResult {
 			Dataset:         r.Dataset,
 			Queries:         r.Queries,
 			Workers:         r.Workers,
+			ColdPassS:       r.Cold.Seconds(),
+			WarmPassS:       r.Warm.Seconds(),
+			WarmSpeedup:     r.WarmSpeedup,
 			SerialQPS:       r.SerialQPS,
 			ParallelQPS:     r.ParallelQPS,
 			Speedup:         r.Speedup,

@@ -34,6 +34,15 @@ type ThroughputRow struct {
 	ParallelQPS float64
 	Speedup     float64
 	Errors      int
+	// Cold and Warm time repeated compile passes (Prepare) over the
+	// dataset's query suite: cold with the plan cache emptied before each
+	// round so every Prepare runs the full compile pipeline, warm with
+	// the cache populated so every Prepare is a hit. Both sides pay the
+	// parse, so WarmSpeedup = Cold/Warm isolates the planning cost the
+	// cache removes from a repeated query.
+	Cold        time.Duration
+	Warm        time.Duration
+	WarmSpeedup float64
 	// ScannedPerQuery and EmittedPerQuery are the average operator-level
 	// nodes-scanned and instances-emitted per query of the serial run,
 	// read from the metrics registry delta around the batch.
@@ -80,15 +89,56 @@ func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow
 		}
 
 		opts := plan.Options{}
-		// Warm-up: one pass over the suite so parser/plan caches and the
-		// allocator are in steady state before timing.
-		for _, q := range Suite(id) {
+		row := ThroughputRow{Dataset: id, Queries: len(batch), Workers: workers}
+
+		// Cold vs warm compile: Prepare the whole suite with the plan
+		// cache emptied before each round (every Prepare runs the full
+		// compile pipeline) versus with the cache left populated (every
+		// Prepare is a lookup). The rounds keep both timings well above
+		// clock noise, and each side takes its best of three repetitions
+		// so a stray GC pause or scheduler preemption inside the
+		// millisecond-scale window cannot flip the ratio. The last cold
+		// round leaves the cache seeded, so the warm pass is hits
+		// throughout.
+		suite := Suite(id)
+		compilePass := func(cold bool) (time.Duration, error) {
+			const compileRounds = 20
+			best := time.Duration(0)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				for r := 0; r < compileRounds; r++ {
+					if cold {
+						exec.ResetPlanCache()
+					}
+					for _, q := range suite {
+						if _, err := eng.Prepare(q.Text, opts); err != nil {
+							return 0, fmt.Errorf("bench: compile %s on %s: %w", q.ID, id, err)
+						}
+					}
+				}
+				if d := time.Since(start); rep == 0 || d < best {
+					best = d
+				}
+			}
+			return best, nil
+		}
+		if row.Cold, err = compilePass(true); err != nil {
+			return nil, err
+		}
+		if row.Warm, err = compilePass(false); err != nil {
+			return nil, err
+		}
+		if row.Warm > 0 {
+			row.WarmSpeedup = row.Cold.Seconds() / row.Warm.Seconds()
+		}
+
+		// Warm-up evaluation pass so the timed batch runs below measure a
+		// hot engine, as before the compile columns existed.
+		for _, q := range suite {
 			if _, err := eng.Eval(q.Text); err != nil {
 				return nil, fmt.Errorf("bench: warm-up %s on %s: %w", q.ID, id, err)
 			}
 		}
-
-		row := ThroughputRow{Dataset: id, Queries: len(batch), Workers: workers}
 
 		before := obs.Default.Snapshot()
 		start := time.Now()
@@ -114,8 +164,9 @@ func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow
 			row.Speedup = row.Serial.Seconds() / row.Parallel.Seconds()
 		}
 		if progress != nil {
-			progress(fmt.Sprintf("  %s: serial %.3fs (%.0f q/s), parallel[%d] %.3fs (%.0f q/s), speedup %.2f×, %.0f nodes scanned/query",
-				id, row.Serial.Seconds(), row.SerialQPS, workers,
+			progress(fmt.Sprintf("  %s: compile cold %.4fs vs warm %.4fs (%.2f×), serial %.3fs (%.0f q/s), parallel[%d] %.3fs (%.0f q/s), speedup %.2f×, %.0f nodes scanned/query",
+				id, row.Cold.Seconds(), row.Warm.Seconds(), row.WarmSpeedup,
+				row.Serial.Seconds(), row.SerialQPS, workers,
 				row.Parallel.Seconds(), row.ParallelQPS, row.Speedup, row.ScannedPerQuery))
 		}
 		rows = append(rows, row)
@@ -133,11 +184,12 @@ func qps(n int, d time.Duration) float64 {
 // FormatThroughput renders the serial-vs-parallel comparison table.
 func FormatThroughput(rows []ThroughputRow) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-5s %8s %8s %10s %10s %12s %12s %8s %7s %10s %8s\n",
-		"file", "queries", "workers", "serial", "parallel", "serial q/s", "parall q/s", "speedup", "errors", "scanned/q", "out/q")
+	fmt.Fprintf(&sb, "%-5s %8s %8s %10s %10s %7s %10s %10s %12s %12s %8s %7s %10s %8s\n",
+		"file", "queries", "workers", "cold", "warm", "warmup", "serial", "parallel", "serial q/s", "parall q/s", "speedup", "errors", "scanned/q", "out/q")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-5s %8d %8d %9.3fs %9.3fs %12.0f %12.0f %7.2fx %7d %10.0f %8.1f\n",
-			r.Dataset, r.Queries, r.Workers, r.Serial.Seconds(), r.Parallel.Seconds(),
+		fmt.Fprintf(&sb, "%-5s %8d %8d %9.4fs %9.4fs %6.2fx %9.3fs %9.3fs %12.0f %12.0f %7.2fx %7d %10.0f %8.1f\n",
+			r.Dataset, r.Queries, r.Workers, r.Cold.Seconds(), r.Warm.Seconds(), r.WarmSpeedup,
+			r.Serial.Seconds(), r.Parallel.Seconds(),
 			r.SerialQPS, r.ParallelQPS, r.Speedup, r.Errors, r.ScannedPerQuery, r.EmittedPerQuery)
 	}
 	return sb.String()

@@ -89,7 +89,7 @@ func FromFLWOR(e flwor.Expr) (*Query, error) {
 		}
 	}
 	if f.OrderBy != nil {
-		end, err := b.pathEndpoint(f.OrderBy, Optional, true)
+		end, err := b.pathEndpoint(stripTextTail(f.OrderBy), Optional, true)
 		if err != nil {
 			return nil, fmt.Errorf("core: order by: %w", err)
 		}
@@ -163,6 +163,13 @@ func (b *builder) pathEndpoint(p *xpath.Path, mode Mode, reuse bool) (*Vertex, e
 func (b *builder) extend(anchor *Vertex, steps []xpath.Step, mode Mode, reuse bool) (*Vertex, error) {
 	cur := anchor
 	for i, st := range steps {
+		if st.TextTest {
+			// Pattern-tree vertices match elements; text() selection is a
+			// projection the executor applies after matching (trailing
+			// text() on paths, return clauses and order by), never a
+			// vertex. Anything else is outside the fragment.
+			return nil, fmt.Errorf("text() steps are outside the BlossomTree pattern fragment")
+		}
 		switch st.Axis {
 		case xpath.Self:
 			if err := b.predicates(cur, st.Preds, mode); err != nil {
@@ -424,6 +431,19 @@ func (b *builder) atom(c flwor.Cond, negate bool, q *Query) (bool, error) {
 	}
 }
 
+// stripTextTail peels a trailing text() step off a path, leaving the
+// element prefix the pattern tree can match. The full path (text()
+// included) is still evaluated navigationally where its value matters
+// — order-by keys and constructor content — so stripping here only
+// widens the pattern, never changes results. The prefix shares the
+// original's step array; paths are read-only after parsing.
+func stripTextTail(p *xpath.Path) *xpath.Path {
+	if n := len(p.Steps); n > 0 && p.Steps[n-1].TextTest {
+		return &xpath.Path{Source: p.Source, Steps: p.Steps[:n-1]}
+	}
+	return p
+}
+
 // relativize strips a path's source, leaving its steps as a relative
 // path.
 func relativize(p *xpath.Path) *xpath.Path {
@@ -438,7 +458,7 @@ func (b *builder) returnPaths(e flwor.Expr) error {
 	switch t := e.(type) {
 	case *flwor.PathExpr:
 		if t.Path.Source.Kind == xpath.SourceVar || t.Path.Source.Kind == xpath.SourceDoc || t.Path.Source.Kind == xpath.SourceRoot {
-			end, err := b.pathEndpoint(t.Path, Optional, true)
+			end, err := b.pathEndpoint(stripTextTail(t.Path), Optional, true)
 			if err != nil {
 				return fmt.Errorf("core: return: %w", err)
 			}

@@ -31,10 +31,18 @@ var differentialQueries = []string{
 	`//a//b//c`,
 	`//b[c]`,
 	`//b[c]/a`,
+	`//a/text()`,
+	`//a//text()`,
+	`//a[b]/text()`,
 	`for $x in doc("d")//a return $x`,
 	`for $x in doc("d")//a, $y in doc("d")//b where $x << $y return $y`,
 	`for $x in doc("d")//a where exists($x//b) return <r>{ $x }</r>`,
 	`for $x in doc("d")//a let $c := $x//b return $x`,
+	`for $x in doc("d")//a order by $x/b return $x`,
+	`for $x in doc("d")//a order by $x/b ascending return $x`,
+	`for $x in doc("d")//a order by $x/b descending return $x`,
+	`for $x in doc("d")//a order by $x/b/text() descending return $x`,
+	`for $x in doc("d")//a return <r>{ $x/b/text() }</r>`,
 }
 
 // differentialDocs generates the randomized document population: small

@@ -63,7 +63,23 @@ type snapshot struct {
 	stats   map[string]xmltree.Stats
 	indexes map[string]*index.TagIndex
 	first   string
+	// version identifies this catalog state; it is unique across every
+	// snapshot of the process (engines, Adds, pins), so it keys the plan
+	// cache without an engine identity: a cached plan is reusable exactly
+	// while the snapshot it was compiled against is the current one, and
+	// any Add publishes a new version, invalidating without locking.
+	version uint64
+
+	// pinned memoizes the derived single-document snapshots of pin, so
+	// repeated EvalAllDocs calls over the same catalog state share pin
+	// versions — and therefore cached plans. Lazily built under pinMu;
+	// the catalog maps above stay immutable.
+	pinMu  sync.Mutex
+	pinned map[string]*snapshot
 }
+
+// snapshotVersions hands out process-unique snapshot versions.
+var snapshotVersions atomic.Uint64
 
 // New returns an engine with index building enabled.
 func New() *Engine { return NewWithConfig(Config{BuildIndexes: true}) }
@@ -75,6 +91,7 @@ func NewWithConfig(cfg Config) *Engine {
 		docs:    map[string]*xmltree.Document{},
 		stats:   map[string]xmltree.Stats{},
 		indexes: map[string]*index.TagIndex{},
+		version: snapshotVersions.Add(1),
 	})
 	return e
 }
@@ -105,6 +122,7 @@ func (e *Engine) Add(uri string, doc *xmltree.Document) {
 		stats:   make(map[string]xmltree.Stats, len(old.stats)+1),
 		indexes: make(map[string]*index.TagIndex, len(old.indexes)+1),
 		first:   old.first,
+		version: snapshotVersions.Add(1),
 	}
 	for k, v := range old.docs {
 		next.docs[k] = v
@@ -176,6 +194,9 @@ type Result struct {
 	// Output is the constructed XML document when the query has
 	// constructors; nil otherwise.
 	Output *xmltree.Document
+	// Cached reports whether the evaluation reused a compiled plan from
+	// the process-wide plan cache instead of compiling from scratch.
+	Cached bool
 }
 
 // Eval parses and evaluates a query with the Auto strategy.
@@ -188,13 +209,12 @@ func (e *Engine) EvalStrategy(src string, s plan.Strategy) (*Result, error) {
 	return e.EvalOptions(src, plan.Options{Strategy: s})
 }
 
-// EvalOptions evaluates with full planner control.
+// EvalOptions evaluates with full planner control. It keeps the query
+// text alongside the parsed form, so the evaluation can hit the plan
+// cache under the text's hash (EvalExpr falls back to the printed
+// expression).
 func (e *Engine) EvalOptions(src string, opts plan.Options) (*Result, error) {
-	expr, err := flwor.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return e.EvalExpr(expr, opts)
+	return evalSource(e.snapshot(), src, opts)
 }
 
 // EvalExpr evaluates a parsed query.
@@ -263,7 +283,61 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options, src string) (res 
 		tel.strategy = "XH"
 		return evalNavigational(s, expr, g)
 	}
-	q, isPath, err := compile(expr)
+	c, hit, err := compiledFor(s, expr, tel.src, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl := c.tmpl.Fork(opts)
+	pl.Cached = hit
+	tel.plan = pl
+	tel.cached = hit
+	instances, err := pl.Execute()
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{Query: c.q, Plan: pl, Instances: instances, Cached: hit}
+	if c.isPath {
+		res.Nodes = projectPathResult(c.q, instances, c.textTail)
+		return res, nil
+	}
+	if err := finishFLWOR(s, expr, c.q, res, g); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// compiledFor resolves the query's compiled form against snapshot s:
+// served from the shared plan cache when possible, compiled (and
+// cached) otherwise. Caller-supplied planning inputs (an explicit
+// index or statistics) bypass the cache entirely — the cache only
+// holds plans shaped by the snapshot itself. hit reports whether the
+// cache served the entry.
+func compiledFor(s *snapshot, expr flwor.Expr, src string, opts plan.Options) (*compiled, bool, error) {
+	bypass := opts.Index != nil || opts.Stats.Nodes != 0
+	var key planKey
+	if !bypass {
+		key = planKey{version: s.version, hash: obs.QueryHash(src), fp: planFingerprint(opts)}
+		if c, ok := sharedPlanCache.get(key); ok {
+			return c, true, nil
+		}
+	}
+	c, err := compileTemplate(s, expr, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if !bypass {
+		sharedPlanCache.put(key, c)
+	}
+	return c, false, nil
+}
+
+// compileTemplate runs the full compile pipeline and builds the
+// pristine plan template the cache shares: only planning-time options
+// reach the Build — per-run state (governor, context, budgets,
+// telemetry) is installed later by Fork, so the template never holds a
+// run's resources.
+func compileTemplate(s *snapshot, expr flwor.Expr, opts plan.Options) (*compiled, error) {
+	q, isPath, tail, err := compile(expr)
 	if err != nil {
 		return nil, err
 	}
@@ -271,30 +345,23 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options, src string) (res 
 	if err != nil {
 		return nil, err
 	}
-	if opts.Index == nil {
-		opts.Index = ix
+	popts := plan.Options{
+		Strategy:   opts.Strategy,
+		MergeScans: opts.MergeScans,
+		Index:      opts.Index,
+		Stats:      opts.Stats,
 	}
-	if opts.Stats.Nodes == 0 {
-		opts.Stats = stats
+	if popts.Index == nil {
+		popts.Index = ix
 	}
-	pl, err := plan.Build(q, doc, opts)
+	if popts.Stats.Nodes == 0 {
+		popts.Stats = stats
+	}
+	tmpl, err := plan.Build(q, doc, popts)
 	if err != nil {
 		return nil, err
 	}
-	tel.plan = pl
-	instances, err := pl.Execute()
-	if err != nil {
-		return nil, err
-	}
-	res = &Result{Query: q, Plan: pl, Instances: instances}
-	if isPath {
-		res.Nodes = projectPathResult(q, instances)
-		return res, nil
-	}
-	if err := finishFLWOR(s, expr, q, res, g); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &compiled{q: q, isPath: isPath, textTail: tail, tmpl: tmpl}, nil
 }
 
 // Explain compiles the query and renders its physical plan: the
@@ -367,7 +434,7 @@ func (e *Engine) buildPlan(src string, opts plan.Options) (*plan.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	q, _, err := compile(expr)
+	q, _, _, err := compile(expr)
 	if err != nil {
 		return nil, err
 	}
@@ -384,14 +451,24 @@ func (e *Engine) buildPlan(src string, opts plan.Options) (*plan.Plan, error) {
 	return plan.Build(q, doc, opts)
 }
 
-// compile builds the BlossomTree query from a parsed expression.
-func compile(expr flwor.Expr) (*core.Query, bool, error) {
+// compile builds the BlossomTree query from a parsed expression. A
+// trailing text() step on a bare path is outside the pattern-tree
+// fragment; it is peeled off here and returned as the tail step
+// projectPathResult re-applies to the matched elements.
+func compile(expr flwor.Expr) (*core.Query, bool, *xpath.Step, error) {
 	if pe, ok := expr.(*flwor.PathExpr); ok {
-		q, err := core.FromPath(pe.Path)
-		return q, true, err
+		p := pe.Path
+		var tail *xpath.Step
+		if n := len(p.Steps); n > 0 && p.Steps[n-1].TextTest {
+			t := p.Steps[n-1]
+			tail = &t
+			p = &xpath.Path{Source: p.Source, Steps: p.Steps[:n-1]}
+		}
+		q, err := core.FromPath(p)
+		return q, true, tail, err
 	}
 	q, err := core.FromFLWOR(expr)
-	return q, false, err
+	return q, false, nil, err
 }
 
 // planContext picks the document all the query's pattern trees anchor at
@@ -428,19 +505,36 @@ func (s *snapshot) planContext(q *core.Query) (*xmltree.Document, *index.TagInde
 }
 
 // projectPathResult extracts the path query's node result: the "result"
-// slot across all instances, distinct, in document order.
-func projectPathResult(q *core.Query, ls []*nestedlist.List) []*xmltree.Node {
+// slot across all instances, distinct, in document order. A text()
+// tail step the compiler peeled off the path is re-applied here,
+// projecting the matched elements onto their text children (child
+// axis) or text descendants (descendant axis).
+func projectPathResult(q *core.Query, ls []*nestedlist.List, textTail *xpath.Step) []*xmltree.Node {
 	rn, ok := q.Return.ByVar("result")
 	if !ok {
 		return nil
 	}
 	seen := map[*xmltree.Node]bool{}
 	var out []*xmltree.Node
+	add := func(n *xmltree.Node) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
 	for _, l := range ls {
 		for _, n := range l.ProjectSlot(rn.Slot) {
-			if !seen[n] {
-				seen[n] = true
-				out = append(out, n)
+			switch {
+			case textTail == nil:
+				add(n)
+			case textTail.Axis == xpath.Descendant:
+				for _, t := range xmltree.TextDescendants(n) {
+					add(t)
+				}
+			default:
+				for _, t := range xmltree.TextChildren(n) {
+					add(t)
+				}
 			}
 		}
 	}
@@ -531,7 +625,8 @@ func finishFLWOR(s *snapshot, expr flwor.Expr, q *core.Query, res *Result, g *go
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return naveval.OrderKeyLess(keys[idx[a]], keys[idx[b]]) })
+		less := naveval.OrderLess(f.OrderDesc)
+		sort.SliceStable(idx, func(a, b int) bool { return less(keys[idx[a]], keys[idx[b]]) })
 		sorted := make([]naveval.Env, len(envs))
 		for i, j := range idx {
 			sorted[i] = envs[j]

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blossomtree/internal/plan"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Executor-level EXPLAIN goldens: unlike the plan-package goldens,
+// these run through the engine (snapshot catalog, plan cache, text()
+// peeling, FLWOR order-by), pinning the renderings the plan package
+// cannot express — order-by modifiers, text() tails stripped from the
+// pattern, and the cache-hit header a warm evaluation carries.
+func TestEngineExplainGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		opts  plan.Options
+		// warm evaluates the query twice and renders the second (cached)
+		// plan's EXPLAIN instead of the engine's uncached Explain.
+		warm bool
+	}{
+		{name: "order_by_descending", query: `for $b in doc("bib.xml")//book order by $b/title descending return $b`},
+		{name: "order_by_ascending", query: `for $b in doc("bib.xml")//book order by $b/title ascending return $b`},
+		{name: "text_tail_path", query: `//book/title/text()`},
+		{name: "text_tail_descendant", query: `//book//text()`, opts: plan.Options{Strategy: plan.BoundedNL}},
+		{name: "plan_cache_hit", query: `//book[author]/title`, warm: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := bibEngine(t)
+			var got string
+			if tc.warm {
+				if _, err := e.EvalOptions(tc.query, tc.opts); err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.EvalOptions(tc.query, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Cached {
+					t.Fatal("second evaluation did not hit the plan cache")
+				}
+				got = res.Plan.Explain()
+			} else {
+				s, err := e.ExplainOptions(tc.query, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = s
+			}
+
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/exec -run TestEngineExplainGolden -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN output drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -97,9 +97,18 @@ func evalSource(s *snapshot, src string, opts plan.Options) (*Result, error) {
 
 // pin derives a single-document snapshot: every URI resolves to the
 // pinned document (the single-document fallback of resolve), carrying
-// over its statistics and index.
+// over its statistics and index. Pins are memoized per parent snapshot
+// so repeated EvalAllDocs calls over one catalog reuse the same derived
+// snapshots — and therefore the same snapshot versions, which is what
+// lets the plan cache serve fan-out evaluations warm.
 func (s *snapshot) pin(uri string) *snapshot {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if p, ok := s.pinned[uri]; ok {
+		return p
+	}
 	p := &snapshot{
+		version: snapshotVersions.Add(1),
 		docs:    map[string]*xmltree.Document{uri: s.docs[uri]},
 		stats:   map[string]xmltree.Stats{uri: s.stats[uri]},
 		indexes: map[string]*index.TagIndex{},
@@ -108,6 +117,10 @@ func (s *snapshot) pin(uri string) *snapshot {
 	if ix, ok := s.indexes[uri]; ok {
 		p.indexes[uri] = ix
 	}
+	if s.pinned == nil {
+		s.pinned = make(map[string]*snapshot)
+	}
+	s.pinned[uri] = p
 	return p
 }
 

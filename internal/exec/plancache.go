@@ -1,0 +1,151 @@
+package exec
+
+// The compiled-plan cache: the compile pipeline (FLWOR → BlossomTree →
+// NoK decomposition → physical plan) is deterministic in the query
+// text, the planning options and the catalog snapshot, so its output is
+// cached process-wide and shared by every evaluation path — Eval*,
+// EvalBatch workers, EvalAllDocs pins, Prepared.Run and the daemon's
+// POST /query all reach it through evalExpr.
+//
+// Keying by snapshot version makes invalidation free: Add publishes a
+// new version, so entries compiled against the old catalog simply stop
+// matching and age out of the LRU. A stale plan therefore cannot
+// execute — there is no lock to take and nothing to flush on the load
+// path. The cached entry is an immutable template: runs Fork it, so the
+// template's skeleton is shared while all per-run operator state stays
+// private to each execution.
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xpath"
+)
+
+// planCacheCapacity bounds the shared cache. Entries are plan skeletons
+// (query, decomposition, explain notes) — small next to documents — so
+// the bound guards against unbounded distinct-query streams, not
+// memory pressure from normal serving.
+const planCacheCapacity = 512
+
+// planKey identifies one cacheable compilation.
+type planKey struct {
+	// version is the catalog snapshot the plan was compiled against.
+	version uint64
+	// hash is the sha256 query-text hash the telemetry layer also logs
+	// (obs.QueryHash), so cache keys and query-log records correlate.
+	hash string
+	// fp fingerprints the planning-time options (strategy, merged
+	// scans); per-run options (parallelism, budgets, analyze, telemetry)
+	// do not shape the template and stay out of the key.
+	fp string
+}
+
+// planFingerprint renders the planning-time option fingerprint.
+func planFingerprint(opts plan.Options) string {
+	return fmt.Sprintf("%d|%t", opts.Strategy, opts.MergeScans)
+}
+
+// compiled is one immutable cache entry.
+type compiled struct {
+	q      *core.Query
+	isPath bool
+	// textTail is the trailing text() step compile peeled off a bare
+	// path; projectPathResult re-applies it to the matched elements.
+	textTail *xpath.Step
+	// tmpl is the pristine plan template. It is never executed; every
+	// run (cached or not) Forks it.
+	tmpl *plan.Plan
+}
+
+// planCache is a mutex-guarded LRU. The lock is held only for the map
+// and list bookkeeping of a lookup; compilation happens outside it, so
+// concurrent misses on the same key may compile twice and the later put
+// wins — harmless, and cheaper than holding the lock across planning.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used; values are *planCacheEntry
+	m   map[planKey]*list.Element
+}
+
+type planCacheEntry struct {
+	key planKey
+	c   *compiled
+}
+
+// sharedPlanCache is the process-wide cache behind every engine.
+var sharedPlanCache = newPlanCache(planCacheCapacity)
+
+func newPlanCache(capacity int) *planCache {
+	// Pre-register the counters so the Prometheus exposition carries all
+	// three names from the first scrape, hit or not.
+	obs.Default.Counter(obs.MetricPlanCacheHits)
+	obs.Default.Counter(obs.MetricPlanCacheMisses)
+	obs.Default.Counter(obs.MetricPlanCacheEvictions)
+	return &planCache{
+		cap: capacity,
+		lru: list.New(),
+		m:   make(map[planKey]*list.Element),
+	}
+}
+
+// get returns the cached compilation for the key, counting the hit or
+// miss into the process-wide registry.
+func (pc *planCache) get(k planKey) (*compiled, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.m[k]
+	if !ok {
+		obs.Default.Add(obs.MetricPlanCacheMisses, 1)
+		return nil, false
+	}
+	pc.lru.MoveToFront(el)
+	obs.Default.Add(obs.MetricPlanCacheHits, 1)
+	return el.Value.(*planCacheEntry).c, true
+}
+
+// put installs a compilation, evicting least-recently-used entries past
+// capacity.
+func (pc *planCache) put(k planKey, c *compiled) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.m[k]; ok {
+		pc.lru.MoveToFront(el)
+		el.Value.(*planCacheEntry).c = c
+		return
+	}
+	pc.m[k] = pc.lru.PushFront(&planCacheEntry{key: k, c: c})
+	for pc.lru.Len() > pc.cap {
+		el := pc.lru.Back()
+		pc.lru.Remove(el)
+		delete(pc.m, el.Value.(*planCacheEntry).key)
+		obs.Default.Add(obs.MetricPlanCacheEvictions, 1)
+	}
+}
+
+// len reports the current entry count.
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Len()
+}
+
+// reset drops every entry; the hit/miss/eviction counters are
+// monotonic and stay untouched.
+func (pc *planCache) reset() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.lru.Init()
+	pc.m = make(map[planKey]*list.Element)
+}
+
+// ResetPlanCache empties the process-wide plan cache. The benchmark
+// harness uses it to re-measure cold compilation on an otherwise warm
+// process; serving code has no reason to call it — invalidation is the
+// snapshot version's job.
+func ResetPlanCache() { sharedPlanCache.reset() }

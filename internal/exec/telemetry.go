@@ -39,6 +39,7 @@ type telemetry struct {
 	strategy string // preset for navigational ("XH"); else read from plan
 	plan     *plan.Plan
 	gov      *gov.Governor
+	cached   bool // plan served from the compiled-plan cache
 	start    time.Time
 }
 
@@ -62,6 +63,7 @@ func (t *telemetry) emit(opts plan.Options, res *Result, err error) {
 		NodesScanned: st.TotalScanned(),
 		RowsOut:      rowsOut(res),
 		Latency:      elapsed,
+		Cached:       t.cached,
 	}
 	if st == nil {
 		entry.NodesScanned = t.gov.NodesScanned()

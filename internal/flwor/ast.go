@@ -72,7 +72,10 @@ type FLWOR struct {
 	Clauses []Clause
 	Where   Cond // nil when absent
 	OrderBy *xpath.Path
-	Return  Expr
+	// OrderDesc reverses the order-by direction (the `descending`
+	// modifier; ascending is the default and is not recorded).
+	OrderDesc bool
+	Return    Expr
 }
 
 func (*PathExpr) isExpr() {}
@@ -129,6 +132,9 @@ func (e *FLWOR) String() string {
 	}
 	if e.OrderBy != nil {
 		sb.WriteString(" order by " + e.OrderBy.String())
+		if e.OrderDesc {
+			sb.WriteString(" descending")
+		}
 	}
 	sb.WriteString(" return " + e.Return.String())
 	return sb.String()

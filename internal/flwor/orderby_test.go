@@ -1,0 +1,82 @@
+package flwor
+
+import (
+	"strings"
+	"testing"
+)
+
+// Order-by direction modifiers (satellite fix): ascending is accepted
+// as the explicit default, descending is recorded on the FLWOR, and
+// the unsupported empty greatest/least modifiers fail loudly instead
+// of parsing as trailing junk.
+
+func TestParseOrderByModifiers(t *testing.T) {
+	cases := []struct {
+		name string
+		q    string
+		desc bool
+	}{
+		{"default", `for $b in doc("d")//book order by $b/title return $b`, false},
+		{"ascending", `for $b in doc("d")//book order by $b/title ascending return $b`, false},
+		{"descending", `for $b in doc("d")//book order by $b/title descending return $b`, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e, err := Parse(c.q)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			f := e.(*FLWOR)
+			if f.OrderBy == nil {
+				t.Fatal("no order-by recorded")
+			}
+			if f.OrderDesc != c.desc {
+				t.Errorf("OrderDesc = %v, want %v", f.OrderDesc, c.desc)
+			}
+			if c.desc && !strings.Contains(f.String(), "order by $b/title descending") {
+				t.Errorf("String() lost the descending modifier: %q", f.String())
+			}
+			// The printed form must re-parse to the same direction.
+			e2, err := Parse(f.String())
+			if err != nil {
+				t.Fatalf("re-parse of %q: %v", f.String(), err)
+			}
+			if e2.(*FLWOR).OrderDesc != c.desc {
+				t.Errorf("round trip changed OrderDesc to %v", e2.(*FLWOR).OrderDesc)
+			}
+		})
+	}
+}
+
+func TestParseOrderByEmptyModifierRejected(t *testing.T) {
+	for _, q := range []string{
+		`for $b in doc("d")//book order by $b/title empty greatest return $b`,
+		`for $b in doc("d")//book order by $b/title empty least return $b`,
+	} {
+		_, err := Parse(q)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", q)
+		}
+		if !strings.Contains(err.Error(), "empty greatest/least") {
+			t.Errorf("Parse(%q) error = %q, want the empty-modifier message", q, err)
+		}
+	}
+}
+
+// TestParseOrderByTextStep: a text() tail on the order-by path parses
+// (evaluation strips it for planning and applies it when computing
+// keys).
+func TestParseOrderByTextStep(t *testing.T) {
+	e, err := Parse(`for $b in doc("d")//book order by $b/title/text() descending return $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*FLWOR)
+	if !f.OrderDesc {
+		t.Error("descending modifier lost after text() step")
+	}
+	steps := f.OrderBy.Steps
+	if len(steps) == 0 || !steps[len(steps)-1].TextTest {
+		t.Errorf("order-by path lost its text() tail: %v", f.OrderBy)
+	}
+}

@@ -193,6 +193,15 @@ func parseFLWOR(l *xpath.Lexer) Expr {
 			return f
 		}
 		f.OrderBy = p
+		switch {
+		case kw(l, "ascending"):
+			// The default direction; nothing to record.
+		case kw(l, "descending"):
+			f.OrderDesc = true
+		case l.Tok().Kind == xpath.TokName && l.Tok().Text == "empty":
+			l.Errorf("'empty greatest/least' order modifiers are not supported")
+			return f
+		}
 	}
 	if !kw(l, "return") {
 		l.Errorf("expected 'return' clause, got %q", l.Tok().Text)

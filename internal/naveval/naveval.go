@@ -47,6 +47,17 @@ func OrderKeyLess(a, b string) bool {
 	return a < b
 }
 
+// OrderLess returns the order-by key comparator for the requested
+// direction: OrderKeyLess for ascending, its mirror for descending.
+// Both evaluators sort stably with it, so equal keys keep iteration
+// order in either direction.
+func OrderLess(desc bool) func(a, b string) bool {
+	if desc {
+		return func(a, b string) bool { return OrderKeyLess(b, a) }
+	}
+	return OrderKeyLess
+}
+
 // Resolver maps document URIs to documents. The empty URI resolves
 // absolute paths ("/a/b") when a query mixes both forms.
 type Resolver func(uri string) (*xmltree.Document, error)
@@ -153,12 +164,20 @@ func (ev *evaluator) step(env Env, ctx *xmltree.Node, st xpath.Step) ([]*xmltree
 	var cands []*xmltree.Node
 	switch st.Axis {
 	case xpath.Child:
+		if st.TextTest {
+			cands = xmltree.TextChildren(ctx)
+			break
+		}
 		for c := ctx.FirstChild; c != nil; c = c.NextSibling {
 			if c.Kind == xmltree.ElementNode && st.Matches(c.Tag) {
 				cands = append(cands, c)
 			}
 		}
 	case xpath.Descendant:
+		if st.TextTest {
+			cands = xmltree.TextDescendants(ctx)
+			break
+		}
 		cands = xmltree.Descendants(ctx, "")
 		if st.Test != "*" {
 			k := cands[:0]
@@ -493,7 +512,8 @@ func EvalFLWORGov(resolve Resolver, f *flwor.FLWOR, g *gov.Governor) ([]Env, err
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return OrderKeyLess(keys[idx[a]], keys[idx[b]]) })
+		less := OrderLess(f.OrderDesc)
+		sort.SliceStable(idx, func(a, b int) bool { return less(keys[idx[a]], keys[idx[b]]) })
 		sorted := make([]Env, len(envs))
 		for i, j := range idx {
 			sorted[i] = envs[j]

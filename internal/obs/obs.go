@@ -179,6 +179,14 @@ const (
 	// MetricSlowQueries counts queries whose latency met or exceeded the
 	// configured slow-query threshold.
 	MetricSlowQueries = "slow_queries_total"
+	// Plan-cache counters (the names render in the Prometheus exposition
+	// as blossomtree_plan_cache_{hits,misses,evictions}): lookups served
+	// from the compiled-plan cache, lookups that compiled fresh, and
+	// entries dropped by the LRU capacity bound. Snapshot invalidation is
+	// not an eviction — superseded entries age out of the LRU naturally.
+	MetricPlanCacheHits      = "plan_cache_hits"
+	MetricPlanCacheMisses    = "plan_cache_misses"
+	MetricPlanCacheEvictions = "plan_cache_evictions"
 )
 
 // HistQueryDuration is the registry name of the query-latency histogram

@@ -36,6 +36,9 @@ type QueryLogEntry struct {
 	NodesScanned int64
 	RowsOut      int64
 	Latency      time.Duration
+	// Cached reports whether the physical plan was served from the
+	// compiled-plan cache rather than compiled for this evaluation.
+	Cached bool
 	// Err is the evaluation error message, "" on success.
 	Err string
 	// Explain lazily renders the query's EXPLAIN ANALYZE tree; it is
@@ -73,6 +76,9 @@ func (l *QueryLog) Record(e QueryLogEntry) {
 		slog.Int64("nodes_scanned", e.NodesScanned),
 		slog.Int64("rows_out", e.RowsOut),
 		slog.Duration("latency", e.Latency),
+	}
+	if e.Cached {
+		attrs = append(attrs, slog.Bool("cached", true))
 	}
 	if e.Err != "" {
 		attrs = append(attrs, slog.String("error", e.Err))

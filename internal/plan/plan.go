@@ -132,10 +132,20 @@ func (o *Options) governor() *gov.Governor {
 }
 
 // Plan is an executable physical plan.
+//
+// A Plan has two lives: freshly Built, it is a template whose skeleton
+// (query, decomposition, strategy, document, planning inputs) is
+// immutable and safe to share — the executor's plan cache holds such
+// templates; Fork derives an execution copy carrying the per-run state
+// (governor, operator bookkeeping, stats tree), and any number of
+// forks may execute concurrently.
 type Plan struct {
 	Query    *core.Query
 	Decomp   *core.Decomposition
 	Strategy Strategy
+	// Cached marks a fork derived from a plan-cache hit; Explain renders
+	// it as a "plan cache: hit" line.
+	Cached bool
 
 	doc  *xmltree.Document
 	opts Options
@@ -231,10 +241,40 @@ func (p *Plan) twigCompatible() error {
 	return err
 }
 
+// Fork returns an execution copy of a compiled plan template. The
+// immutable skeleton is shared; planning-time inputs (strategy, index,
+// statistics, merged scans) come from the template so a cached plan
+// cannot be re-shaped by run options, while everything per-run —
+// context, budget, fault injector, parallelism, analyze, telemetry
+// identity and the governor — comes from opts. The explain notes are
+// copied, not aliased: Operator builds append access-method notes, and
+// concurrent forks must not race on the template's slice.
+func (p *Plan) Fork(opts Options) *Plan {
+	opts.Strategy = p.opts.Strategy
+	opts.Index = p.opts.Index
+	opts.Stats = p.opts.Stats
+	opts.MergeScans = p.opts.MergeScans
+	f := &Plan{
+		Query:    p.Query,
+		Decomp:   p.Decomp,
+		Strategy: p.Strategy,
+		doc:      p.doc,
+		opts:     opts,
+		expl:     append([]string(nil), p.expl...),
+	}
+	f.gov = f.opts.governor()
+	return f
+}
+
 // Explain renders the decomposition and the chosen physical operators.
 func (p *Plan) Explain() string {
 	var sb strings.Builder
 	sb.WriteString("plan strategy: " + p.Strategy.String() + "\n")
+	if p.Cached {
+		// On its own line, not the headline: the daemon parses the first
+		// line for the strategy name.
+		sb.WriteString("  plan cache: hit\n")
+	}
 	for _, e := range p.expl {
 		sb.WriteString("  " + e + "\n")
 	}

@@ -88,8 +88,12 @@ type QueryRequest struct {
 
 // QueryResponse is the POST /query reply.
 type QueryResponse struct {
-	QueryID   string              `json:"query_id"`
-	Strategy  string              `json:"strategy,omitempty"`
+	QueryID  string `json:"query_id"`
+	Strategy string `json:"strategy,omitempty"`
+	// Cached reports whether the evaluation reused a compiled plan from
+	// the daemon's plan cache; a repeated identical query against an
+	// unchanged catalog reports true.
+	Cached    bool                `json:"cached"`
 	ElapsedMS float64             `json:"elapsed_ms"`
 	Count     int                 `json:"count"`
 	XML       string              `json:"xml,omitempty"`
@@ -157,6 +161,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp.Strategy = "XH" // navigational evaluation has no plan
 	}
+	resp.Cached = res.Cached()
 	resp.Count = res.Len()
 	resp.XML = res.XML()
 	for _, n := range res.Nodes() {

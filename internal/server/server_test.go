@@ -123,6 +123,31 @@ func TestQueryEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestQueryEndpointWarmCache: the second identical POST /query is
+// served from the plan cache and says so in its response.
+func TestQueryEndpointWarmCache(t *testing.T) {
+	ts := newTestServer(t)
+	req := QueryRequest{Query: `//book[author/last="Knuth"]/title`}
+	status, res := postQuery(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("first query status = %d, body %+v", status, res)
+	}
+	cold := res
+	status, res = postQuery(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("second query status = %d, body %+v", status, res)
+	}
+	if !res.Cached {
+		t.Error("repeated identical query did not report cached: true")
+	}
+	if res.Count != cold.Count || len(res.Nodes) != len(cold.Nodes) {
+		t.Errorf("cached response diverges: count %d vs %d", res.Count, cold.Count)
+	}
+	if res.Strategy != cold.Strategy {
+		t.Errorf("cached strategy %q differs from cold %q", res.Strategy, cold.Strategy)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	// At least one evaluation so the latency histogram is non-empty.
@@ -146,6 +171,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE blossomtree_query_duration_seconds histogram",
 		`blossomtree_query_duration_seconds_bucket{le="+Inf"}`,
 		"blossomtree_queries_total",
+		"blossomtree_plan_cache_hits",
+		"blossomtree_plan_cache_misses",
+		"blossomtree_plan_cache_evictions",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

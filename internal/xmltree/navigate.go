@@ -74,6 +74,33 @@ func Descendants(n *Node, tag string) []*Node {
 	return out
 }
 
+// TextChildren returns the text-node children of n in document order
+// (the child::text() axis).
+func TextChildren(n *Node) []*Node {
+	var out []*Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Kind == TextNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TextDescendants returns all text-node descendants of n (excluding n)
+// in document order (the descendant::text() axis).
+func TextDescendants(n *Node) []*Node {
+	var out []*Node
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		Walk(c, func(m *Node) bool {
+			if m.Kind == TextNode {
+				out = append(out, m)
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // Children returns the element children of n with the given tag (""
 // matches all element children).
 func Children(n *Node, tag string) []*Node {

@@ -89,6 +89,9 @@ type Step struct {
 	Axis  Axis
 	Test  string // tag name, or "*" for any element; attribute name when Axis == Attribute
 	Preds []Expr
+	// TextTest marks the text() kind test: the step selects text nodes
+	// instead of elements. Test holds "text()" so printing round-trips.
+	TextTest bool
 }
 
 // Matches reports whether the step's node test accepts the tag.

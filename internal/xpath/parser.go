@@ -174,6 +174,31 @@ func parseStep(l *Lexer, axis Axis) (Step, bool) {
 func parseNodeTest(l *Lexer, st Step) (Step, bool) {
 	switch tok := l.Tok(); tok.Kind {
 	case TokName:
+		if tok.Text == "text" {
+			// text() kind test: selects text nodes. Only meaningful on the
+			// downward axes; a text node has no attributes, siblings are
+			// not part of the fragment, and self would need a text context.
+			save := tok
+			l.Advance()
+			if l.Tok().Kind == TokLParen {
+				l.Advance()
+				if !expect(l, TokRParen) {
+					return st, false
+				}
+				if st.Axis != Child && st.Axis != Descendant {
+					l.Errorf("text() is only supported on the child and descendant axes")
+					return st, false
+				}
+				if l.Tok().Kind == TokLBracket {
+					l.Errorf("predicates on text() are outside the fragment")
+					return st, false
+				}
+				st.Test = "text()"
+				st.TextTest = true
+				return st, l.Err() == nil
+			}
+			l.Push(save)
+		}
 		st.Test = tok.Text
 	case TokStar:
 		st.Test = "*"

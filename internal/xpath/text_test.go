@@ -1,0 +1,80 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// text() is the kind test selecting text nodes (satellite of the
+// serialization work): parsed as a marked step, round-tripping through
+// String, and rejected outside the supported child/descendant axes.
+
+func TestParseTextTest(t *testing.T) {
+	cases := []string{
+		`//a/text()`,
+		`/a/b/text()`,
+		`a/text()`,
+		`$x/b/text()`,
+		`doc("bib.xml")//book/title/text()`,
+		`//a//text()`,
+	}
+	for _, in := range cases {
+		t.Run(in, func(t *testing.T) {
+			p, err := Parse(in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", in, err)
+			}
+			last := p.Steps[len(p.Steps)-1]
+			if !last.TextTest {
+				t.Errorf("last step of %q not marked TextTest: %+v", in, last)
+			}
+			if last.Test != "text()" {
+				t.Errorf("last step Test = %q, want \"text()\"", last.Test)
+			}
+			if got := p.String(); got != in {
+				t.Errorf("round trip: %q -> %q", in, got)
+			}
+		})
+	}
+}
+
+func TestParseTextTestErrors(t *testing.T) {
+	bad := []struct {
+		in, wantErr string
+	}{
+		{`//a/text()[1]`, "predicates on text()"},
+		{`/a/following-sibling::text()`, "child and descendant axes"},
+		{`//a/@text()`, ""}, // attribute axis: rejected, message unpinned
+		{`//a/text(`, ""},   // unclosed parens
+	}
+	for _, c := range bad {
+		t.Run(c.in, func(t *testing.T) {
+			_, err := Parse(c.in)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", c.in)
+			}
+			if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Parse(%q) error = %q, want substring %q", c.in, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseTextElementName: "text" without parentheses stays an
+// ordinary element name test.
+func TestParseTextElementName(t *testing.T) {
+	for _, in := range []string{`//text`, `/a/text/b`, `//text[c]`} {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		for _, st := range p.Steps {
+			if st.TextTest {
+				t.Errorf("Parse(%q): element name \"text\" parsed as kind test", in)
+			}
+		}
+		if got := p.String(); got != in {
+			t.Errorf("round trip: %q -> %q", in, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package blossomtree
 
 import (
 	"sort"
+	"strings"
 
 	"blossomtree/internal/exec"
 	"blossomtree/internal/xmltree"
@@ -118,6 +119,11 @@ func newResult(r *exec.Result) *Result {
 // the trace store (TraceJSON, blossomd's GET /trace/{queryID}).
 func (r *Result) QueryID() string { return r.inner.QueryID }
 
+// Cached reports whether the evaluation's physical plan was served
+// from the process-wide compiled-plan cache rather than compiled for
+// this run.
+func (r *Result) Cached() bool { return r.inner.Cached }
+
 // Nodes returns a path query's result nodes (distinct, document order).
 // For FLWOR queries whose return clause is a bare variable/path, use
 // Rows.
@@ -136,21 +142,33 @@ func (r *Result) Len() int {
 	return len(r.nodes)
 }
 
-// XML serializes the constructed output document ("" when the query has
-// no constructors).
-func (r *Result) XML() string {
-	if r.inner.Output == nil {
-		return ""
-	}
-	return xmltree.Serialize(r.inner.Output.Root, xmltree.WriteOptions{})
+// XML serializes the query's output: the constructed document when the
+// query has constructors, otherwise the result nodes serialized in
+// document order (elements as markup, text nodes as their text). A
+// query with neither output returns "".
+func (r *Result) XML() string { return r.serialize(xmltree.WriteOptions{}) }
+
+// XMLIndent is XML with pretty-printing. The node-sequence fallback
+// separates serialized nodes with newlines.
+func (r *Result) XMLIndent() string {
+	return r.serialize(xmltree.WriteOptions{Indent: true})
 }
 
-// XMLIndent is XML with pretty-printing.
-func (r *Result) XMLIndent() string {
-	if r.inner.Output == nil {
+func (r *Result) serialize(opts xmltree.WriteOptions) string {
+	if r.inner.Output != nil {
+		return xmltree.Serialize(r.inner.Output.Root, opts)
+	}
+	if len(r.inner.Nodes) == 0 {
 		return ""
 	}
-	return xmltree.Serialize(r.inner.Output.Root, xmltree.WriteOptions{Indent: true})
+	var sb strings.Builder
+	for i, n := range r.inner.Nodes {
+		if i > 0 && opts.Indent {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(xmltree.Serialize(n, opts))
+	}
+	return sb.String()
 }
 
 // Plan renders the executed physical plan (empty for navigational

@@ -63,6 +63,20 @@ if [ -z "$qid" ]; then
     exit 1
 fi
 
+# A second identical POST must be served from the plan cache: the
+# response says so, and the hit counter moves.
+resp2=$(curl -sS -X POST "http://$addr/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "//addresses//street_address", "analyze": true}')
+case $resp2 in
+*'"cached":true'*) ;;
+*)
+    echo "smoke: repeated query not served from the plan cache: $resp2" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: warm cache OK (repeated query reports cached:true)"
+
 # The metrics exposition must contain a non-empty query-latency
 # histogram.
 metrics=$(curl -sS "http://$addr/metrics")
@@ -76,7 +90,19 @@ printf '%s\n' "$metrics" | grep -q '^blossomtree_query_duration_seconds_bucket{l
     echo "smoke: histogram buckets missing from exposition" >&2
     exit 1
 }
-echo "smoke: metrics OK (histogram count=$count)"
+hits=$(printf '%s\n' "$metrics" | sed -n 's/^blossomtree_plan_cache_hits //p')
+if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
+    echo "smoke: plan_cache_hits missing or zero after a repeated query:" >&2
+    printf '%s\n' "$metrics" | grep plan_cache >&2 || true
+    exit 1
+fi
+for name in plan_cache_hits plan_cache_misses plan_cache_evictions; do
+    printf '%s\n' "$metrics" | grep -q "^blossomtree_$name " || {
+        echo "smoke: $name missing from exposition" >&2
+        exit 1
+    }
+done
+echo "smoke: metrics OK (histogram count=$count, plan cache hits=$hits)"
 
 # The query's trace must be retrievable as Chrome trace-event JSON.
 trace=$(curl -sS "http://$addr/trace/$qid")
