@@ -9,11 +9,18 @@
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
 #   make fuzz    — parser fuzz smoke (FUZZTIME per target, default 30s)
+#   make proptest — randomized differential harness (PROPSEED,
+#                  PROPCASES control the base seed and case count)
 
 GO ?= go
 FUZZTIME ?= 30s
+# Base seed for the property harness. The default pins CI; override to
+# replay a failure (every failure report prints its per-case seed, which
+# replays with PROPSEED=<seed> PROPCASES=1).
+PROPSEED ?= 0xB10550
+PROPCASES ?= 2500
 
-.PHONY: build test vet race check stress smoke bench qps fuzz
+.PHONY: build test vet race check stress smoke bench qps fuzz proptest
 
 build:
 	$(GO) build ./...
@@ -31,7 +38,17 @@ race:
 # full suite under the race detector, which exercises the concurrent
 # Add+Eval stress tests against the snapshot engine, plus the
 # cancellation stress pass.
-check: vet race stress smoke
+check: vet race stress smoke proptest
+
+# Property-based differential harness: PROPCASES random documents, four
+# random queries each, every join strategy ± parallel ± warm plan cache
+# compared byte-for-byte against the navigational oracle. The default
+# seed is fixed so `make check` is deterministic; CI also runs a
+# randomized-seed job (see .github/workflows/ci.yml) that logs the seed
+# on failure.
+proptest:
+	$(GO) test ./internal/proptest -run TestRandomizedDifferential \
+		-proptest.seed $(PROPSEED) -proptest.cases $(PROPCASES) -v
 
 # Cancellation/fault-injection stress: mid-flight cancellation of batch
 # and multi-document evaluation, scripted operator panics, and budget

@@ -14,16 +14,29 @@ import (
 // Descendant is the global axis along which Algorithm 1 cuts.
 type Rel int
 
-// Tree-edge relationships.
+// Tree-edge relationships. RelParent and RelAncestor are the upward
+// mirror edges of RelChild and RelDescendant (the reverse-axis edge
+// kinds of the tree-pattern survey literature): the edge's target vertex
+// matches the parent (resp. an ancestor) of the source's match. The
+// compiler rewrites RelParent edges onto existing vertices where a
+// /-edge already pins the parent; the remaining upward edges are outside
+// the join algebra and route the query to the navigational fallback.
 const (
 	RelChild Rel = iota
 	RelDescendant
 	RelFollowingSibling
+	RelParent
+	RelAncestor
 )
 
 // Local reports whether the relationship is a local axis (stays inside a
-// NoK pattern tree under Algorithm 1).
-func (r Rel) Local() bool { return r != RelDescendant }
+// NoK pattern tree under Algorithm 1). The upward axes mirror their
+// downward counterparts: parent is local, ancestor is global.
+func (r Rel) Local() bool { return r != RelDescendant && r != RelAncestor }
+
+// Upward reports whether the edge points against the document hierarchy
+// (its target matches above its source).
+func (r Rel) Upward() bool { return r == RelParent || r == RelAncestor }
 
 // String renders the relationship in XPath syntax.
 func (r Rel) String() string {
@@ -34,20 +47,29 @@ func (r Rel) String() string {
 		return "//"
 	case RelFollowingSibling:
 		return "/following-sibling::"
+	case RelParent:
+		return "/parent::"
+	case RelAncestor:
+		return "/ancestor::"
 	default:
 		return fmt.Sprintf("Rel(%d)", int(r))
 	}
 }
 
-// Holds evaluates the structural relationship between two XML nodes.
-func (r Rel) Holds(parent, child *xmltree.Node) bool {
+// Holds evaluates the structural relationship between two XML nodes
+// (src is the edge's source match, tgt its target match).
+func (r Rel) Holds(src, tgt *xmltree.Node) bool {
 	switch r {
 	case RelChild:
-		return child.Parent == parent
+		return tgt.Parent == src
 	case RelDescendant:
-		return parent.IsAncestorOf(child)
+		return src.IsAncestorOf(tgt)
 	case RelFollowingSibling:
-		return child.Parent == parent.Parent && parent.Before(child)
+		return tgt.Parent == src.Parent && src.Before(tgt)
+	case RelParent:
+		return src.Parent == tgt
+	case RelAncestor:
+		return tgt.IsAncestorOf(src)
 	default:
 		return false
 	}
@@ -220,7 +242,13 @@ type Crossing struct {
 	From, To *Vertex
 	Kind     CrossKind
 	Op       xpath.CmpOp // for CrossValue
-	Negate   bool        // wraps the whole (existentially quantified) predicate
+	// FromAttr/ToAttr carry the attribute name when a CrossValue
+	// endpoint path ended in an attribute step ($x/@a = $y/@b): the
+	// comparison then reads attribute values instead of element
+	// string-values. The endpoint vertices are the elements carrying
+	// the attributes (attributes are not nodes in this data model).
+	FromAttr, ToAttr string
+	Negate           bool // wraps the whole (existentially quantified) predicate
 }
 
 // String renders the crossing edge.
@@ -260,9 +288,16 @@ func (c *Crossing) Eval(left, right []*xmltree.Node) bool {
 	case CrossValue:
 		res = false
 		for _, l := range left {
-			lv := xmltree.StringValue(l)
+			lv, ok := cmpValue(l, c.FromAttr)
+			if !ok {
+				continue
+			}
 			for _, r := range right {
-				if c.Op.Eval(lv, xmltree.StringValue(r)) {
+				rv, ok := cmpValue(r, c.ToAttr)
+				if !ok {
+					continue
+				}
+				if c.Op.Eval(lv, rv) {
 					res = true
 				}
 			}
@@ -274,6 +309,15 @@ func (c *Crossing) Eval(left, right []*xmltree.Node) bool {
 		return !res
 	}
 	return res
+}
+
+// cmpValue extracts a node's comparison value: the named attribute's
+// value (absent attribute contributes nothing) or the string-value.
+func cmpValue(n *xmltree.Node, attr string) (string, bool) {
+	if attr == "" {
+		return xmltree.StringValue(n), true
+	}
+	return n.Attr(attr)
 }
 
 // BlossomTree is the annotated directed graph of Definition 1: a set of

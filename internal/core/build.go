@@ -25,6 +25,10 @@ type Query struct {
 type builder struct {
 	bt   *BlossomTree
 	vars map[string]*Vertex
+	// lets maps each let variable to its (already inlined) defining
+	// path, so later paths anchored at the variable can be rewritten to
+	// start from the definition's own anchor — see inlineLets.
+	lets map[string]*xpath.Path
 }
 
 // FromPath compiles a bare path expression into a single-pattern-tree
@@ -61,15 +65,19 @@ func FromFLWOR(e flwor.Expr) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &builder{bt: NewBlossomTree(), vars: map[string]*Vertex{}}
+	b := &builder{bt: NewBlossomTree(), vars: map[string]*Vertex{}, lets: map[string]*xpath.Path{}}
 	q := &Query{Tree: b.bt, Vars: b.vars, Source: e}
 
 	for _, cl := range f.Clauses {
+		if cl.PosVar != "" {
+			return nil, fmt.Errorf("core: positional variable $%s (at) is %w", cl.PosVar, ErrOutsideFragment)
+		}
 		mode := Mandatory
 		if cl.Kind == flwor.LetClause {
 			mode = Optional
 		}
-		end, err := b.pathEndpoint(cl.Path, mode, false)
+		path, _ := b.inlineLets(cl.Path, true)
+		end, err := b.pathEndpoint(path, mode, false)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s $%s: %w", cl.Kind, cl.Var, err)
 		}
@@ -81,6 +89,9 @@ func FromFLWOR(e flwor.Expr) (*Query, error) {
 			end.ForBound = true
 		}
 		b.vars[cl.Var] = end
+		if cl.Kind == flwor.LetClause {
+			b.lets[cl.Var] = path
+		}
 	}
 
 	if f.Where != nil {
@@ -168,7 +179,7 @@ func (b *builder) extend(anchor *Vertex, steps []xpath.Step, mode Mode, reuse bo
 			// projection the executor applies after matching (trailing
 			// text() on paths, return clauses and order by), never a
 			// vertex. Anything else is outside the fragment.
-			return nil, fmt.Errorf("text() steps are outside the BlossomTree pattern fragment")
+			return nil, fmt.Errorf("text() steps are %w", ErrOutsideFragment)
 		}
 		switch st.Axis {
 		case xpath.Self:
@@ -176,12 +187,33 @@ func (b *builder) extend(anchor *Vertex, steps []xpath.Step, mode Mode, reuse bo
 				return nil, err
 			}
 			continue
+		case xpath.Parent, xpath.Ancestor:
+			if st.Axis == xpath.Parent && len(st.Preds) == 0 && cur.Parent != nil &&
+				cur.ParentRel == RelChild && !cur.Parent.IsDocRoot() &&
+				(st.Test == "*" || st.Test == cur.Parent.Test) {
+				// Static rewrite: the /-edge pins this vertex's match as a
+				// child of the parent vertex's match, so ".." lands exactly
+				// there — the step costs no new edge and stays planned.
+				cur = cur.Parent
+				continue
+			}
+			rel := RelParent
+			if st.Axis == xpath.Ancestor {
+				rel = RelAncestor
+			}
+			next := b.bt.NewVertex(st.Test)
+			b.bt.AddChild(cur, next, rel, mode)
+			if err := b.predicates(next, st.Preds, mode); err != nil {
+				return nil, err
+			}
+			cur = next
+			continue
 		case xpath.Attribute:
 			if i != len(steps)-1 {
-				return nil, fmt.Errorf("attribute step @%s must be the last step", st.Test)
+				return nil, fmt.Errorf("non-final attribute step @%s is %w", st.Test, ErrOutsideFragment)
 			}
 			if len(st.Preds) > 0 {
-				return nil, fmt.Errorf("predicates on attribute steps are outside the fragment")
+				return nil, fmt.Errorf("predicates on attribute steps are %w", ErrOutsideFragment)
 			}
 			cur.Constraints = append(cur.Constraints, Constraint{Kind: CAttrExists, Attr: st.Test})
 			return cur, nil
@@ -250,14 +282,23 @@ func (b *builder) predicate(v *Vertex, e xpath.Expr, mode Mode) error {
 		_, err := b.extend(v, t.Path.Steps, Mandatory, false)
 		return err
 	case xpath.Position:
+		// Position is order-sensitive: [n] counts the step's candidates
+		// BEFORE later filters apply, but the matcher gates position before
+		// checking a vertex's other constraints and subtrees regardless of
+		// predicate order. Only the position-first form is expressible.
+		if len(v.Constraints) > 0 || len(v.Children) > 0 {
+			return fmt.Errorf("positional predicate after other predicates on %s is %w", v.Label(), ErrOutsideFragment)
+		}
 		v.Constraints = append(v.Constraints, Constraint{Kind: CPosition, Pos: t.N})
 		return nil
 	case xpath.Compare:
 		return b.comparePredicate(v, t)
 	case xpath.Or:
-		return fmt.Errorf("disjunctive path predicates (%s) are outside the BlossomTree fragment", e)
+		return fmt.Errorf("disjunctive path predicates (%s) are %w", e, ErrOutsideFragment)
 	case xpath.Not:
-		return fmt.Errorf("negated path predicates (%s) are outside the BlossomTree fragment", e)
+		return fmt.Errorf("negated path predicates (%s) are %w", e, ErrOutsideFragment)
+	case *xpath.FuncCall:
+		return fmt.Errorf("function predicates (%s) are %w", e, ErrOutsideFragment)
 	default:
 		return fmt.Errorf("unsupported predicate %s", e)
 	}
@@ -268,7 +309,9 @@ func (b *builder) predicate(v *Vertex, e xpath.Expr, mode Mode) error {
 func (b *builder) comparePredicate(v *Vertex, cmp xpath.Compare) error {
 	left, op, lit, err := normalizeCompare(cmp)
 	if err != nil {
-		return err
+		// Function operands and path-vs-path comparisons inside path
+		// predicates have no vertex-constraint form.
+		return fmt.Errorf("%v: %w", err, ErrOutsideFragment)
 	}
 	target := v
 	steps := left.Steps
@@ -368,22 +411,42 @@ func (b *builder) atom(c flwor.Cond, negate bool, q *Query) (bool, error) {
 		if !t.Before { // a >> b  ≡  b << a
 			from, to = to, from
 		}
-		fv, err := b.pathEndpoint(from, Mandatory, true)
+		if negate && (hasAttrTail(from) || hasAttrTail(to)) {
+			// The doc-order crossing compares the carrying elements; under
+			// negation a missing attribute must make the condition TRUE,
+			// which the element comparison cannot express. Residualize.
+			return false, nil
+		}
+		from, fin := b.inlineLets(from, false)
+		to, tin := b.inlineLets(to, false)
+		fv, err := b.pathEndpoint(from, endpointMode(negate), !fin)
 		if err != nil {
 			return false, err
 		}
-		tv, err := b.pathEndpoint(to, Mandatory, true)
+		tv, err := b.pathEndpoint(to, endpointMode(negate), !tin)
 		if err != nil {
 			return false, err
 		}
 		b.bt.AddCrossing(&Crossing{From: fv, To: tv, Kind: CrossDocOrder, Negate: negate})
 		return true, nil
 	case flwor.CondDeepEqual:
-		fv, err := b.pathEndpoint(t.Left, Mandatory, true)
+		if hasAttrTail(t.Left) || hasAttrTail(t.Right) {
+			// deep-equal(empty, empty) is TRUE, so an element lacking the
+			// attribute must contribute an empty sequence — but the crossing
+			// projects the carrying element, which is non-empty. Residualize.
+			return false, nil
+		}
+		// Optional endpoint edges: deep-equal(empty, empty) is TRUE, so
+		// a row whose paths match nothing must survive to the crossing
+		// evaluation (which sees two empty projections) instead of being
+		// dropped by a mandatory edge.
+		left, lin := b.inlineLets(t.Left, false)
+		right, rin := b.inlineLets(t.Right, false)
+		fv, err := b.pathEndpoint(left, Optional, !lin)
 		if err != nil {
 			return false, err
 		}
-		tv, err := b.pathEndpoint(t.Right, Mandatory, true)
+		tv, err := b.pathEndpoint(right, Optional, !rin)
 		if err != nil {
 			return false, err
 		}
@@ -391,15 +454,31 @@ func (b *builder) atom(c flwor.Cond, negate bool, q *Query) (bool, error) {
 		return true, nil
 	case flwor.CondCmp:
 		if t.Left.Kind == xpath.OperandPath && t.Right.Kind == xpath.OperandPath {
-			fv, err := b.pathEndpoint(t.Left.Path, Mandatory, true)
+			// Attribute-ending operand paths compare attribute values; the
+			// crossing carries the attribute names and reads them per node.
+			// Non-negated atoms keep the full path so pathEndpoint adds the
+			// CAttrExists constraint (a node without the attribute makes the
+			// comparison false, so dropping it early is equivalent). Negated
+			// atoms use the peeled element prefix instead: a missing
+			// attribute must reach the crossing, where the empty comparison
+			// is false and the negation turns the row TRUE.
+			lfull, lin := b.inlineLets(t.Left.Path, false)
+			rfull, rin := b.inlineLets(t.Right.Path, false)
+			lp, lattr := attrTail(lfull)
+			rp, rattr := attrTail(rfull)
+			if !negate {
+				lp, rp = lfull, rfull
+			}
+			fv, err := b.pathEndpoint(lp, endpointMode(negate), !lin)
 			if err != nil {
 				return false, err
 			}
-			tv, err := b.pathEndpoint(t.Right.Path, Mandatory, true)
+			tv, err := b.pathEndpoint(rp, endpointMode(negate), !rin)
 			if err != nil {
 				return false, err
 			}
-			b.bt.AddCrossing(&Crossing{From: fv, To: tv, Kind: CrossValue, Op: t.Op, Negate: negate})
+			b.bt.AddCrossing(&Crossing{From: fv, To: tv, Kind: CrossValue, Op: t.Op,
+				FromAttr: lattr, ToAttr: rattr, Negate: negate})
 			return true, nil
 		}
 		if negate {
@@ -409,10 +488,17 @@ func (b *builder) atom(c flwor.Cond, negate bool, q *Query) (bool, error) {
 		if err != nil {
 			return false, nil // literal-vs-literal etc. stays residual
 		}
+		left, _ = b.inlineLets(left, true)
 		end, err := b.pathEndpoint(&xpath.Path{Source: left.Source}, Mandatory, true)
 		if err != nil {
 			return false, err
 		}
+		// The constraint only filters rows where the vertex matched; an
+		// empty operand makes the comparison false, so the chain down to
+		// the anchor must be mandatory for the rows the oracle drops to
+		// be dropped (comparePredicate grows the inlined steps as fresh
+		// mandatory branches itself).
+		require(end)
 		return true, b.comparePredicate(end, xpath.Compare{
 			Left:  xpath.Operand{Kind: xpath.OperandPath, Path: relativize(left)},
 			Op:    op,
@@ -422,9 +508,12 @@ func (b *builder) atom(c flwor.Cond, negate bool, q *Query) (bool, error) {
 		if negate {
 			return false, nil
 		}
-		if _, err := b.pathEndpoint(t.Path, Mandatory, true); err != nil {
+		p, inlined := b.inlineLets(t.Path, false)
+		end, err := b.pathEndpoint(p, Mandatory, !inlined)
+		if err != nil {
 			return false, err
 		}
+		require(end) // any optional edges on the chain must turn mandatory
 		return true, nil
 	default:
 		return false, nil
@@ -442,6 +531,81 @@ func stripTextTail(p *xpath.Path) *xpath.Path {
 		return &xpath.Path{Source: p.Source, Steps: p.Steps[:n-1]}
 	}
 	return p
+}
+
+// require upgrades every optional edge on v's ancestor chain to
+// mandatory, so a vertex constraint or existence test on v actually
+// eliminates rows where v has no match (the matcher never evaluates
+// constraints on unmatched optional vertices).
+func require(v *Vertex) {
+	for ; v != nil && v.Parent != nil; v = v.Parent {
+		if v.ParentMode == Optional {
+			v.ParentMode = Mandatory
+		}
+	}
+}
+
+// inlineLets rewrites a path anchored at a let variable to start from
+// the let definition's own anchor ($l/b with let $l := $x/a becomes
+// $x/a/b). Where-clause and later-clause paths must never extend or
+// constrain the vertex feeding a let binding's slot: the binding
+// projects the WHOLE matched sequence, while a constraint or mandatory
+// subtree attached there would narrow the projection to the satisfying
+// instances only. Conditions are existential over the sequence, so an
+// inlined parallel branch is equivalent — and leaves the binding vertex
+// untouched. Reports whether any inlining happened so callers can
+// disable vertex reuse (reuse could map the inlined prefix right back
+// onto the binding vertex it is meant to avoid).
+//
+// A bare let-variable reference (no steps) is left alone unless force
+// is set: an unadorned crossing endpoint or exists() test reads the
+// binding vertex without modifying it, and reusing it keeps the tree in
+// the paper's Figure 1 shape. Call sites that attach a constraint even
+// to a step-less path (path-vs-literal comparisons) pass force; so do
+// for/let clauses, where binding flags on a shared vertex would couple
+// the two variables.
+func (b *builder) inlineLets(p *xpath.Path, force bool) (*xpath.Path, bool) {
+	inlined := false
+	for p.Source.Kind == xpath.SourceVar && (force || len(p.Steps) > 0) {
+		def, ok := b.lets[p.Source.Var]
+		if !ok {
+			break
+		}
+		steps := make([]xpath.Step, 0, len(def.Steps)+len(p.Steps))
+		steps = append(append(steps, def.Steps...), p.Steps...)
+		p = &xpath.Path{Source: def.Source, Steps: steps}
+		inlined = true
+	}
+	return p, inlined
+}
+
+// endpointMode picks the tree-edge mode for a crossing endpoint. Negated
+// crossings ride optional edges: not(a = b) is TRUE when either path is
+// empty (the inner comparison is false), so rows with an empty projection
+// must survive to the crossing evaluation instead of being dropped by a
+// mandatory edge. Positive crossings keep mandatory edges — an empty
+// operand makes the condition false, so dropping the row early is
+// equivalent and cheaper.
+func endpointMode(negate bool) Mode {
+	if negate {
+		return Optional
+	}
+	return Mandatory
+}
+
+// hasAttrTail reports whether the path's last step is an attribute step.
+func hasAttrTail(p *xpath.Path) bool {
+	_, a := attrTail(p)
+	return a != ""
+}
+
+// attrTail splits a trailing attribute step off a path, returning the
+// element prefix and the attribute name ("" when there is none).
+func attrTail(p *xpath.Path) (*xpath.Path, string) {
+	if n := len(p.Steps); n > 0 && p.Steps[n-1].Axis == xpath.Attribute {
+		return &xpath.Path{Source: p.Source, Steps: p.Steps[:n-1]}, p.Steps[n-1].Test
+	}
+	return p, ""
 }
 
 // relativize strips a path's source, leaving its steps as a relative

@@ -197,6 +197,21 @@ type Result struct {
 	// Cached reports whether the evaluation reused a compiled plan from
 	// the process-wide plan cache instead of compiling from scratch.
 	Cached bool
+	// NavReason carries the routing reason when a query outside the
+	// BlossomTree fragment fell back to the navigational evaluator
+	// (empty for planned runs and for an explicitly requested XH
+	// strategy).
+	NavReason string
+}
+
+// FallbackExplain renders the EXPLAIN form of a navigational-fallback
+// evaluation ("" for planned runs), mirroring Engine.ExplainOptions on
+// the same query.
+func (r *Result) FallbackExplain() string {
+	if r.NavReason == "" {
+		return ""
+	}
+	return "plan strategy: XH\n  navigational fallback: " + r.NavReason + "\n"
 }
 
 // Eval parses and evaluates a query with the Auto strategy.
@@ -287,6 +302,19 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options, src string) (res 
 	if err != nil {
 		return nil, err
 	}
+	if c.nav {
+		// Outside the BlossomTree fragment: the cached routing decision
+		// sends the query to the navigational evaluator, still under this
+		// evaluation's governor and telemetry.
+		tel.strategy = "XH"
+		tel.cached = hit
+		res, err := evalNavigational(s, expr, g)
+		if res != nil {
+			res.Cached = hit
+			res.NavReason = c.navReason
+		}
+		return res, err
+	}
 	pl := c.tmpl.Fork(opts)
 	pl.Cached = hit
 	tel.plan = pl
@@ -336,9 +364,16 @@ func compiledFor(s *snapshot, expr flwor.Expr, src string, opts plan.Options) (*
 // reach the Build — per-run state (governor, context, budgets,
 // telemetry) is installed later by Fork, so the template never holds a
 // run's resources.
+// Compile or Build errors wrapping core.ErrOutsideFragment are not
+// failures: the query parses but cannot be expressed in the pattern-tree
+// fragment, so the template records a navigational-fallback routing
+// decision instead of a plan.
 func compileTemplate(s *snapshot, expr flwor.Expr, opts plan.Options) (*compiled, error) {
 	q, isPath, tail, err := compile(expr)
 	if err != nil {
+		if errors.Is(err, core.ErrOutsideFragment) {
+			return &compiled{nav: true, navReason: err.Error()}, nil
+		}
 		return nil, err
 	}
 	doc, ix, stats, err := s.planContext(q)
@@ -359,6 +394,9 @@ func compileTemplate(s *snapshot, expr flwor.Expr, opts plan.Options) (*compiled
 	}
 	tmpl, err := plan.Build(q, doc, popts)
 	if err != nil {
+		if errors.Is(err, core.ErrOutsideFragment) {
+			return &compiled{nav: true, navReason: err.Error()}, nil
+		}
 		return nil, err
 	}
 	return &compiled{q: q, isPath: isPath, textTail: tail, tmpl: tmpl}, nil
@@ -376,6 +414,9 @@ func (e *Engine) Explain(src string) (string, error) {
 func (e *Engine) ExplainOptions(src string, opts plan.Options) (string, error) {
 	pl, err := e.buildPlan(src, opts)
 	if err != nil {
+		if errors.Is(err, core.ErrOutsideFragment) {
+			return navExplain(err), nil
+		}
 		return "", err
 	}
 	// Building the operator tree records the access-method notes and
@@ -398,6 +439,16 @@ func (e *Engine) ExplainAnalyzeOptions(src string, opts plan.Options) (string, e
 	opts.Analyze = true
 	pl, err := e.buildPlan(src, opts)
 	if err != nil {
+		if errors.Is(err, core.ErrOutsideFragment) {
+			// The fallback has no operator tree to instrument; run the
+			// query navigationally (metered by evalExpr's telemetry like
+			// any other evaluation) and report the row count.
+			res, rerr := evalSource(e.snapshot(), src, opts)
+			if rerr != nil {
+				return "", rerr
+			}
+			return navExplain(err) + fmt.Sprintf("  rows: %d\n", len(res.Envs)+len(res.Nodes)), nil
+		}
 		return "", err
 	}
 	t0 := time.Now()
@@ -412,6 +463,12 @@ func (e *Engine) ExplainAnalyzeOptions(src string, opts plan.Options) (string, e
 	obs.Default.Histogram(obs.HistQueryDuration, obs.LatencyBuckets).ObserveDuration(time.Since(t0))
 	recordPlanMetrics(pl)
 	return pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(true), nil
+}
+
+// navExplain renders the EXPLAIN header for queries outside the
+// BlossomTree fragment, which evaluate via the navigational fallback.
+func navExplain(err error) string {
+	return "plan strategy: XH\n  navigational fallback: " + err.Error() + "\n"
 }
 
 // recordPlanMetrics folds an executed plan's stats tree into the

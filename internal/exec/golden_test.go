@@ -30,6 +30,17 @@ func TestEngineExplainGolden(t *testing.T) {
 		{name: "text_tail_path", query: `//book/title/text()`},
 		{name: "text_tail_descendant", query: `//book//text()`, opts: plan.Options{Strategy: plan.BoundedNL}},
 		{name: "plan_cache_hit", query: `//book[author]/title`, warm: true},
+		// New query surface: function predicates, positional variables
+		// and non-rewritable upward axes run through the navigational
+		// fallback; its EXPLAIN names the routing reason.
+		{name: "nav_fallback_contains", query: `//book[contains(title, "Art")]`},
+		{name: "nav_fallback_positional_var", query: `for $b at $i in doc("bib.xml")//book where $i < 2 return $b`},
+		{name: "nav_fallback_ancestor", query: `//last/ancestor::book`},
+		// Rewritable parent steps, attribute constraints and positional
+		// predicates stay planned.
+		{name: "parent_rewrite", query: `//book/title/..`},
+		{name: "position_filter", query: `//book[2]`},
+		{name: "residual_function_where", query: `for $b in doc("bib.xml")//book where count($b/author) = 1 return $b`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -60,6 +60,16 @@ type compiled struct {
 	// tmpl is the pristine plan template. It is never executed; every
 	// run (cached or not) Forks it.
 	tmpl *plan.Plan
+	// nav marks a navigational-fallback entry: the query parses but lies
+	// outside the BlossomTree fragment (core.ErrOutsideFragment), so every
+	// run evaluates it with the navigational evaluator instead of a plan.
+	// The routing decision itself is what the cache holds — q and tmpl are
+	// nil — so repeated fallback queries skip recompilation and report
+	// Cached like planned ones.
+	nav bool
+	// navReason is the fragment violation that forced the fallback,
+	// surfaced by EXPLAIN.
+	navReason string
 }
 
 // planCache is a mutex-guarded LRU. The lock is held only for the map

@@ -60,11 +60,15 @@ func (k ClauseKind) String() string {
 	return "let"
 }
 
-// Clause is a single for- or let-binding.
+// Clause is a single for- or let-binding. PosVar is the positional
+// variable of `for $x at $i in …` (empty when absent; never set on
+// let-clauses): it binds the 1-based index of $x within its binding
+// sequence.
 type Clause struct {
-	Kind ClauseKind
-	Var  string
-	Path *xpath.Path
+	Kind   ClauseKind
+	Var    string
+	PosVar string
+	Path   *xpath.Path
 }
 
 // FLWOR is a parsed FLWOR expression.
@@ -122,7 +126,11 @@ func (e *FLWOR) String() string {
 			sb.WriteByte(' ')
 		}
 		if c.Kind == ForClause {
-			sb.WriteString("for $" + c.Var + " in " + c.Path.String())
+			sb.WriteString("for $" + c.Var)
+			if c.PosVar != "" {
+				sb.WriteString(" at $" + c.PosVar)
+			}
+			sb.WriteString(" in " + c.Path.String())
 		} else {
 			sb.WriteString("let $" + c.Var + " := " + c.Path.String())
 		}
@@ -176,6 +184,11 @@ type CondDeepEqual struct{ Left, Right *xpath.Path }
 // CondExists is exists(path).
 type CondExists struct{ Path *xpath.Path }
 
+// CondBool is a bare core-function call in boolean position
+// (where contains($b/title, "XML")): the call's effective boolean
+// value decides the row.
+type CondBool struct{ Fn *xpath.FuncCall }
+
 func (CondAnd) isCond()       {}
 func (CondOr) isCond()        {}
 func (CondNot) isCond()       {}
@@ -183,6 +196,7 @@ func (CondCmp) isCond()       {}
 func (CondDocOrder) isCond()  {}
 func (CondDeepEqual) isCond() {}
 func (CondExists) isCond()    {}
+func (CondBool) isCond()      {}
 
 // String reprints the condition.
 func (c CondAnd) String() string { return c.L.String() + " and " + c.R.String() }
@@ -214,3 +228,6 @@ func (c CondDeepEqual) String() string {
 
 // String reprints the condition.
 func (c CondExists) String() string { return "exists(" + c.Path.String() + ")" }
+
+// String reprints the condition.
+func (c CondBool) String() string { return c.Fn.String() }

@@ -21,6 +21,20 @@ func FuzzFLWORParse(f *testing.F) {
 		`<out>text{ //a }more</out>`,
 		`//a[b]//c`,
 		`for $x in doc("d")//a return <r>{ $x/b, $x/c }</r>`,
+		// Positional variables.
+		`for $x at $i in doc("d")//a where $i <= 3 return $x`,
+		`for $x at $i in doc("d")//a, $y at $j in doc("d")//b where $i = $j return <r>{ $x }</r>`,
+		// Function calls in conditions.
+		`for $x in doc("d")//a where contains($x/b, "w") return $x`,
+		`for $x in doc("d")//a where count($x/b) > 1 and starts-with($x/@id, "z") return $x`,
+		`for $x in doc("d")//a where number($x/@n) >= 10 return $x`,
+		`for $x in doc("d")//a where string-join($x/b, ",") != "" return $x`,
+		// Attribute value tests and upward axes.
+		`for $x in doc("d")//a where $x/@id = $x/b/@id return $x/@id`,
+		`for $x in doc("d")//b/parent::a return $x`,
+		`for $x in doc("d")//c where exists($x/ancestor::a) return $x`,
+		// Let chains over the wider surface.
+		`for $x in doc("d")//a let $l := $x//b where exists($l//c) return $l`,
 	} {
 		f.Add(seed)
 	}

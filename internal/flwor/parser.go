@@ -152,7 +152,21 @@ func parseFLWOR(l *xpath.Lexer) Expr {
 			}
 			seen[v] = true
 			l.Advance()
+			posVar := ""
 			if kind == ForClause {
+				if kw(l, "at") {
+					if l.Tok().Kind != xpath.TokVar {
+						l.Errorf("expected positional $variable after 'at'")
+						return f
+					}
+					posVar = l.Tok().Text
+					if seen[posVar] {
+						l.Errorf("variable $%s bound twice", posVar)
+						return f
+					}
+					seen[posVar] = true
+					l.Advance()
+				}
 				if l.Tok().Kind != xpath.TokName || l.Tok().Text != "in" {
 					l.Errorf("expected 'in' in for-clause")
 					return f
@@ -169,7 +183,7 @@ func parseFLWOR(l *xpath.Lexer) Expr {
 				l.Errorf("%s", err)
 				return f
 			}
-			f.Clauses = append(f.Clauses, Clause{Kind: kind, Var: v, Path: p})
+			f.Clauses = append(f.Clauses, Clause{Kind: kind, Var: v, PosVar: posVar, Path: p})
 			if l.Tok().Kind != xpath.TokComma {
 				break
 			}
@@ -320,6 +334,10 @@ func parseCondCmp(l *xpath.Lexer) Cond {
 		right := parseCondOperand(l)
 		return CondCmp{Left: left, Op: op, Right: right}
 	default:
+		if left.Kind == xpath.OperandFunc {
+			// Bare function call: its effective boolean value decides.
+			return CondBool{Fn: left.Fn}
+		}
 		if left.Kind == xpath.OperandPath {
 			// Bare path: effective boolean value, i.e. existence.
 			return CondExists{Path: left.Path}
@@ -342,6 +360,9 @@ func parseCondOperand(l *xpath.Lexer) xpath.Operand {
 		l.Advance()
 		return xpath.Operand{Kind: xpath.OperandNumber, Num: num}
 	default:
+		if fn := xpath.TryParseFuncCall(l); fn != nil {
+			return xpath.Operand{Kind: xpath.OperandFunc, Fn: fn}
+		}
 		p, err := xpath.ParseFrom(l)
 		if err != nil {
 			return xpath.Operand{Kind: xpath.OperandPath, Path: &xpath.Path{}}

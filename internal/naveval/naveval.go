@@ -23,8 +23,10 @@ package naveval
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
+	"strings"
 
 	"blossomtree/internal/fault"
 	"blossomtree/internal/flwor"
@@ -131,7 +133,37 @@ func (ev *evaluator) path(env Env, p *xpath.Path) ([]*xmltree.Node, error) {
 	default:
 		return nil, fmt.Errorf("naveval: relative path %s has no context", p)
 	}
-	return ev.steps(env, ctx, p.Steps)
+	// A trailing attribute step selects the elements *having* the
+	// attribute: attributes are not nodes in this data model, so @attr in
+	// node position is an existence test — the same convention the
+	// planner's CAttrExists endpoint constraint implements.
+	steps, attr := peelAttr(p.Steps)
+	res, err := ev.steps(env, ctx, steps)
+	if err != nil || attr == "" {
+		return res, err
+	}
+	var out []*xmltree.Node
+	for _, m := range res {
+		if _, ok := m.Attr(attr); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// peelAttr splits a trailing attribute step off a step list, returning
+// the remaining steps and the attribute name ("" when the path does not
+// end in an attribute step). Every place a path can yield values or an
+// existence test shares it, so attribute semantics cannot diverge
+// between predicates, operands and top-level paths.
+// peelAttr splits a predicate-free trailing attribute step off; an
+// attribute step carrying predicates stays in place so step() rejects
+// it, matching the planner, which also errors on that shape.
+func peelAttr(steps []xpath.Step) ([]xpath.Step, string) {
+	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute && len(steps[k-1].Preds) == 0 {
+		return steps[:k-1], steps[k-1].Test
+	}
+	return steps, ""
 }
 
 func (ev *evaluator) steps(env Env, ctx []*xmltree.Node, steps []xpath.Step) ([]*xmltree.Node, error) {
@@ -198,10 +230,20 @@ func (ev *evaluator) step(env Env, ctx *xmltree.Node, st xpath.Step) ([]*xmltree
 				cands = append(cands, s)
 			}
 		}
+	case xpath.Parent:
+		if p := ctx.Parent; p != nil && p.Kind == xmltree.ElementNode && st.Matches(p.Tag) {
+			cands = []*xmltree.Node{p}
+		}
+	case xpath.Ancestor:
+		for _, a := range xmltree.Ancestors(ctx) {
+			if st.Matches(a.Tag) {
+				cands = append(cands, a)
+			}
+		}
 	case xpath.Attribute:
 		return nil, fmt.Errorf("naveval: attribute nodes cannot be returned (step @%s)", st.Test)
 	default:
-		return nil, fmt.Errorf("naveval: unsupported axis %v", st.Axis)
+		return nil, fmt.Errorf("naveval: unsupported axis %s (supported axes: %s)", st.Axis.Name(), xpath.SupportedAxes())
 	}
 	// Each per-context-node step is one governance point: the axis
 	// candidates charge the node budget, and the hit doubles as the
@@ -250,6 +292,8 @@ func (ev *evaluator) pred(env Env, n *xmltree.Node, pos int, e xpath.Expr) (bool
 	case xpath.Not:
 		v, err := ev.pred(env, n, pos, t.E)
 		return !v, err
+	case *xpath.FuncCall:
+		return ev.funcBool(env, n, t)
 	case xpath.Compare:
 		lv, err := ev.operandValues(env, n, t.Left)
 		if err != nil {
@@ -275,12 +319,7 @@ func (ev *evaluator) pred(env Env, n *xmltree.Node, pos int, e xpath.Expr) (bool
 // relative evaluates a relative path from a context node, handling
 // trailing attribute steps as attribute existence.
 func (ev *evaluator) relative(env Env, n *xmltree.Node, p *xpath.Path) ([]*xmltree.Node, error) {
-	steps := p.Steps
-	attr := ""
-	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
-		attr = steps[k-1].Test
-		steps = steps[:k-1]
-	}
+	steps, attr := peelAttr(p.Steps)
 	res, err := ev.steps(env, []*xmltree.Node{n}, steps)
 	if err != nil {
 		return nil, err
@@ -306,26 +345,61 @@ func (ev *evaluator) operandValues(env Env, n *xmltree.Node, o xpath.Operand) ([
 		return []string{o.Str}, nil
 	case xpath.OperandNumber:
 		return []string{trimFloat(o.Num)}, nil
+	case xpath.OperandFunc:
+		v, err := ev.funcValue(env, n, o.Fn)
+		if err != nil {
+			return nil, err
+		}
+		return []string{v}, nil
 	}
-	p := o.Path
-	steps := p.Steps
-	attr := ""
-	if k := len(steps); k > 0 && steps[k-1].Axis == xpath.Attribute {
-		attr = steps[k-1].Test
-		steps = steps[:k-1]
-	}
-	var ctx []*xmltree.Node
-	var err error
-	if p.Source.Kind == xpath.SourceContext {
-		ctx, err = ev.steps(env, []*xmltree.Node{n}, steps)
-	} else {
-		ctx, err = ev.path(env, &xpath.Path{Source: p.Source, Steps: steps})
-	}
+	nodes, attr, err := ev.operandNodes(env, n, o.Path)
 	if err != nil {
 		return nil, err
 	}
-	var out []string
-	for _, m := range ctx {
+	return nodeValues(nodes, attr), nil
+}
+
+// operandNodes resolves a path operand to its result nodes plus the
+// trailing attribute name when the path ends in an attribute step: the
+// nodes are then the elements carrying the attribute. A nil context node
+// restricts the operand to anchored paths ($var, doc(), absolute), the
+// where-condition case.
+func (ev *evaluator) operandNodes(env Env, n *xmltree.Node, p *xpath.Path) ([]*xmltree.Node, string, error) {
+	steps, attr := peelAttr(p.Steps)
+	var nodes []*xmltree.Node
+	var err error
+	if p.Source.Kind == xpath.SourceContext {
+		if n == nil {
+			return nil, "", fmt.Errorf("naveval: relative path %s has no context", p)
+		}
+		nodes, err = ev.steps(env, []*xmltree.Node{n}, steps)
+	} else {
+		nodes, err = ev.path(env, &xpath.Path{Source: p.Source, Steps: steps})
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	if attr != "" {
+		// Never compact in place: for a bare variable operand like
+		// $l/@attr, path() returns the environment's own binding slice,
+		// and an in-place filter would scribble over the stored binding.
+		kept := make([]*xmltree.Node, 0, len(nodes))
+		for _, m := range nodes {
+			if _, ok := m.Attr(attr); ok {
+				kept = append(kept, m)
+			}
+		}
+		nodes = kept
+	}
+	return nodes, attr, nil
+}
+
+// nodeValues produces the comparison values of resolved operand nodes:
+// attribute values when the operand path ended in an attribute step,
+// string-values otherwise.
+func nodeValues(nodes []*xmltree.Node, attr string) []string {
+	out := make([]string, 0, len(nodes))
+	for _, m := range nodes {
 		if attr != "" {
 			if v, ok := m.Attr(attr); ok {
 				out = append(out, v)
@@ -334,12 +408,155 @@ func (ev *evaluator) operandValues(env Env, n *xmltree.Node, o xpath.Operand) ([
 		}
 		out = append(out, xmltree.StringValue(m))
 	}
-	return out, nil
+	return out
 }
 
 func trimFloat(f float64) string {
 	s := fmt.Sprintf("%g", f)
 	return s
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// stringArg evaluates a function argument to a single string following
+// XPath 1.0's string() conversion: the string-value of the first result
+// node ("" for an empty sequence), or the literal itself.
+func (ev *evaluator) stringArg(env Env, n *xmltree.Node, o xpath.Operand) (string, error) {
+	vals, err := ev.operandValues(env, n, o)
+	if err != nil {
+		return "", err
+	}
+	if len(vals) == 0 {
+		return "", nil
+	}
+	return vals[0], nil
+}
+
+// seqArg evaluates a function argument that must be a node sequence
+// (count, sum, string-join), returning the result nodes and the trailing
+// attribute name when the argument path ended in an attribute step.
+func (ev *evaluator) seqArg(env Env, n *xmltree.Node, o xpath.Operand, fn string) ([]*xmltree.Node, string, error) {
+	if o.Kind != xpath.OperandPath {
+		return nil, "", fmt.Errorf("naveval: %s() requires a path argument", fn)
+	}
+	return ev.operandNodes(env, n, o.Path)
+}
+
+// funcValue evaluates a core library function call to its string value.
+// Boolean functions yield "true"/"false"; numeric functions format via
+// the same %g rendering comparisons use, with "NaN" for non-numeric
+// input, so function results compose with CmpOp.Eval's numeric rules.
+func (ev *evaluator) funcValue(env Env, n *xmltree.Node, f *xpath.FuncCall) (string, error) {
+	switch f.Name {
+	case "contains", "starts-with":
+		a, err := ev.stringArg(env, n, f.Args[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := ev.stringArg(env, n, f.Args[1])
+		if err != nil {
+			return "", err
+		}
+		if f.Name == "contains" {
+			return boolStr(strings.Contains(a, b)), nil
+		}
+		return boolStr(strings.HasPrefix(a, b)), nil
+	case "count":
+		nodes, _, err := ev.seqArg(env, n, f.Args[0], f.Name)
+		if err != nil {
+			return "", err
+		}
+		return strconv.Itoa(len(nodes)), nil
+	case "sum":
+		nodes, attr, err := ev.seqArg(env, n, f.Args[0], f.Name)
+		if err != nil {
+			return "", err
+		}
+		total := 0.0
+		for _, v := range nodeValues(nodes, attr) {
+			fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return "NaN", nil
+			}
+			total += fv
+		}
+		return trimFloat(total), nil
+	case "string-join":
+		nodes, attr, err := ev.seqArg(env, n, f.Args[0], f.Name)
+		if err != nil {
+			return "", err
+		}
+		sep := ""
+		if len(f.Args) == 2 {
+			if sep, err = ev.stringArg(env, n, f.Args[1]); err != nil {
+				return "", err
+			}
+		}
+		return strings.Join(nodeValues(nodes, attr), sep), nil
+	case "number":
+		var s string
+		var err error
+		if len(f.Args) == 0 {
+			if n == nil {
+				return "", fmt.Errorf("naveval: number() needs a context node")
+			}
+			s = xmltree.StringValue(n)
+		} else if s, err = ev.stringArg(env, n, f.Args[0]); err != nil {
+			return "", err
+		}
+		fv, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return "NaN", nil
+		}
+		return trimFloat(fv), nil
+	case "name":
+		if len(f.Args) == 0 {
+			if n == nil {
+				return "", fmt.Errorf("naveval: name() needs a context node")
+			}
+			return n.Tag, nil
+		}
+		nodes, attr, err := ev.seqArg(env, n, f.Args[0], f.Name)
+		if err != nil {
+			return "", err
+		}
+		if len(nodes) == 0 {
+			return "", nil
+		}
+		if attr != "" {
+			// The name of an attribute node is the attribute name.
+			return attr, nil
+		}
+		return nodes[0].Tag, nil
+	default:
+		return "", fmt.Errorf("naveval: unknown function %s()", f.Name)
+	}
+}
+
+// funcBool is the effective boolean value of a function call: booleans
+// directly, numbers ≠ 0 (NaN is false), strings ≠ "".
+func (ev *evaluator) funcBool(env Env, n *xmltree.Node, f *xpath.FuncCall) (bool, error) {
+	v, err := ev.funcValue(env, n, f)
+	if err != nil {
+		return false, err
+	}
+	switch f.Name {
+	case "contains", "starts-with":
+		return v == "true", nil
+	case "count", "sum", "number":
+		fv, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(fv) {
+			return false, nil
+		}
+		return fv != 0, nil
+	default: // string-join, name
+		return v != "", nil
+	}
 }
 
 // EvalCond evaluates a where-clause condition under an environment (used
@@ -370,6 +587,8 @@ func (ev *evaluator) cond(env Env, c flwor.Cond) (bool, error) {
 	case flwor.CondNot:
 		v, err := ev.cond(env, t.C)
 		return !v, err
+	case flwor.CondBool:
+		return ev.funcBool(env, nil, t.Fn)
 	case flwor.CondExists:
 		res, err := ev.path(env, t.Path)
 		if err != nil {
@@ -425,22 +644,12 @@ func (ev *evaluator) cond(env Env, c flwor.Cond) (bool, error) {
 	}
 }
 
+// condOperandValues is operandValues without a context node: operand
+// paths in where-conditions must be anchored at a variable, doc() or the
+// root. Attribute-ending paths compare attribute values, exactly as in
+// predicate operands.
 func (ev *evaluator) condOperandValues(env Env, o xpath.Operand) ([]string, error) {
-	switch o.Kind {
-	case xpath.OperandString:
-		return []string{o.Str}, nil
-	case xpath.OperandNumber:
-		return []string{trimFloat(o.Num)}, nil
-	}
-	res, err := ev.path(env, o.Path)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(res))
-	for i, n := range res {
-		out[i] = xmltree.StringValue(n)
-	}
-	return out, nil
+	return ev.operandValues(env, nil, o)
 }
 
 // EvalFLWOR runs the FLWOR iteration semantics naively: the nested-loop
@@ -473,9 +682,16 @@ func EvalFLWORGov(resolve Resolver, f *flwor.FLWOR, g *gov.Governor) ([]Env, err
 				next = append(next, e2)
 				continue
 			}
-			for _, n := range res {
+			for i, n := range res {
 				e2 := env.clone()
 				e2[cl.Var] = []*xmltree.Node{n}
+				if cl.PosVar != "" {
+					// The positional variable binds a detached text node
+					// holding the 1-based index: it behaves as a value
+					// (comparisons, order by, constructor content) without
+					// widening the Env value type.
+					e2[cl.PosVar] = []*xmltree.Node{{Kind: xmltree.TextNode, Text: strconv.Itoa(i + 1)}}
+				}
 				next = append(next, e2)
 			}
 		}

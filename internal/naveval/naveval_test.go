@@ -60,6 +60,14 @@ func TestEvalPathBasics(t *testing.T) {
 		{`//book[@year="1997"]`, 1},
 		{`//book[@year]`, 4},
 		{`//book[@missing]`, 0},
+		{`//book/@year`, 4}, // trailing attribute step: elements having it
+		{`//book/..`, 1},
+		{`//last/ancestor::book`, 2},
+		{`//last/parent::author`, 2},
+		{`//book[count(author) = 1]`, 2},
+		{`//book[contains(title, "Book")]`, 1},
+		{`//book[starts-with(@year, "19")]`, 3},
+		{`//book[number(price) < 30]`, 1},
 		{`//author//last`, 2},
 		{`//bib`, 1},
 		{`//*`, 19},
@@ -104,8 +112,8 @@ func TestEvalPathDocOrderDedup(t *testing.T) {
 func TestEvalPathErrors(t *testing.T) {
 	doc := parse(t, bib)
 	bad := []string{
-		`//book/@year`, // attribute endpoint
-		`$x/title`,     // unbound variable
+		`//book/@year/text()`, // attribute step mid-path
+		`$x/title`,            // unbound variable
 	}
 	for _, q := range bad {
 		if _, err := EvalPath(doc, xpath.MustParse(q)); err == nil {

@@ -102,6 +102,20 @@ func (p *Plan) buildNoKPlan() (join.Operator, *obs.OpStats, error) {
 			// NoKs of the query (the for × for case of Example 1).
 			parentComp := findComp(p.noKOfVertex(l.Parent))
 			childComp := newComponent(l.Child)
+			if pos, has := l.Child.Root.PositionConstraint(); has {
+				// Positional predicates on cut targets become stream
+				// selections (σ_position, §3.3). The filter must wrap the
+				// target's own scan before any join multiplies the stream:
+				// position() counts the target's instances, not joined
+				// rows. The nested (non-scan) case is rejected in Build
+				// with a fragment error and runs navigationally.
+				slot := p.slotOf(l.Child.Root)
+				st := obs.NewOpStats("PositionFilter", fmt.Sprintf("position()=%d", pos))
+				st.EstOut = 1
+				st.Adopt(childComp.stats)
+				childComp.op = join.Instrument(&join.PositionFilter{Input: childComp.op, Slot: slot, Pos: pos}, st)
+				childComp.stats = st
+			}
 			if parentComp != nil && parentComp != childComp {
 				p.combine(parentComp, childComp, nil, l)
 				removeComp(childComp)
@@ -188,22 +202,6 @@ func (p *Plan) buildNoKPlan() (join.Operator, *obs.OpStats, error) {
 		stats = st
 	}
 
-	// Positional predicates on cut targets become stream selections
-	// (σ_position, §3.3); only top-level targets have well-defined
-	// stream positions.
-	for _, l := range d.Links {
-		if pos, has := l.Child.Root.PositionConstraint(); has {
-			if !l.IsScan() {
-				return nil, nil, fmt.Errorf("plan: positional predicate on nested //-step %s is unsupported", l.Child.Root.Label())
-			}
-			slot := p.slotOf(l.Child.Root)
-			st := obs.NewOpStats("PositionFilter", fmt.Sprintf("position()=%d", pos))
-			st.EstOut = 1
-			st.Adopt(stats)
-			op = join.Instrument(&join.PositionFilter{Input: op, Slot: slot, Pos: pos}, st)
-			stats = st
-		}
-	}
 	return op, stats, nil
 }
 

@@ -170,9 +170,46 @@ func (p *Plan) watch(f func() error) { p.errChecks = append(p.errChecks, f) }
 
 // Build compiles the query into a plan against the document.
 func Build(q *core.Query, doc *xmltree.Document, opts Options) (*Plan, error) {
+	// Upward tree edges (parent/ancestor steps the compiler could not
+	// rewrite away) have no join-algebra form: reject them before
+	// decomposition so the executor can route the query to the
+	// navigational fallback.
+	for _, v := range q.Tree.Vertices {
+		if v.Parent != nil && v.ParentRel.Upward() {
+			return nil, fmt.Errorf("plan: %s edge to %s is %w", v.ParentRel, v.Label(), core.ErrOutsideFragment)
+		}
+	}
 	d, err := core.Decompose(q.Tree)
 	if err != nil {
 		return nil, err
+	}
+	// Positional predicates under a nested //-cut have no well-defined
+	// stream position in the join algebra (the PositionFilter needs a
+	// top-level scan). And even on a top-level scan, the PositionFilter
+	// counts the instances the matcher emits — so any other constraint or
+	// same-NoK mandatory child on the target would be applied BEFORE the
+	// position, inverting the step's filter order ([1] counts the step's
+	// tag matches before later filters). Detect both shapes at build time
+	// so they fall back navigationally instead of answering wrong.
+	for _, l := range d.Links {
+		root := l.Child.Root
+		if _, has := root.PositionConstraint(); !has {
+			continue
+		}
+		if !l.IsScan() {
+			return nil, fmt.Errorf("plan: positional predicate on nested //-step %s is %w",
+				root.Label(), core.ErrOutsideFragment)
+		}
+		if len(root.Constraints) > 1 {
+			return nil, fmt.Errorf("plan: positional predicate combined with other filters on scan target %s is %w",
+				root.Label(), core.ErrOutsideFragment)
+		}
+		for _, c := range root.Children {
+			if c.ParentRel.Local() && c.ParentMode == core.Mandatory {
+				return nil, fmt.Errorf("plan: positional predicate on scan target %s with mandatory subtree %s is %w",
+					root.Label(), c.Label(), core.ErrOutsideFragment)
+			}
+		}
 	}
 	p := &Plan{Query: q, Decomp: d, doc: doc, opts: opts}
 	p.gov = p.opts.governor()

@@ -148,6 +148,58 @@ func TestQueryEndpointWarmCache(t *testing.T) {
 	}
 }
 
+// TestQueryEndpointNewSurface round-trips one query per newly supported
+// construct — core functions, attribute value tests, upward axes,
+// positional predicates and positional variables — through POST /query,
+// and repeats each to pin that the routing decision (planned, residual
+// or navigational fallback) is served from the plan cache.
+func TestQueryEndpointNewSurface(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name, query string
+		count       int
+	}{
+		{"contains", `//book[contains(title, "Art")]`, 1},
+		{"starts-with", `//book[starts-with(@year, "19")]`, 3},
+		{"count", `//book[count(author) = 1]`, 2},
+		{"sum", `//book[sum(price) >= 100]`, 1},
+		{"number", `for $b in doc("bib.xml")//book where number($b/price) < 40 return $b`, 3},
+		{"name", `//book[name() = "book"]`, 4},
+		{"string-join", `for $b in doc("bib.xml")//book where string-join($b/author/last, "-") = "Knuth" return $b`, 2},
+		{"attr-test", `//book[@year="1994"]/title`, 1},
+		{"attr-value", `//book/@year`, 4},
+		{"parent", `//title/parent::book`, 4},
+		{"parent-rewrite", `//book/title/..`, 4},
+		{"ancestor", `//last/ancestor::book`, 2},
+		{"positional-pred", `//book[2]`, 1},
+		{"positional-var", `for $b at $i in doc("bib.xml")//book where $i <= 2 return $b`, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, cold := postQuery(t, ts, QueryRequest{Query: tc.query, Explain: true})
+			if status != http.StatusOK {
+				t.Fatalf("status = %d, body %+v", status, cold)
+			}
+			if cold.Count != tc.count {
+				t.Errorf("count = %d, want %d", cold.Count, tc.count)
+			}
+			if cold.Explain == "" {
+				t.Error("explain missing from response")
+			}
+			status, warm := postQuery(t, ts, QueryRequest{Query: tc.query})
+			if status != http.StatusOK {
+				t.Fatalf("warm status = %d, body %+v", status, warm)
+			}
+			if !warm.Cached {
+				t.Error("repeated query did not report cached: true")
+			}
+			if warm.Count != cold.Count {
+				t.Errorf("warm count %d diverges from cold %d", warm.Count, cold.Count)
+			}
+		})
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	// At least one evaluation so the latency histogram is non-empty.

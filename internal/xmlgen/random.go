@@ -18,6 +18,14 @@ type RandomSpec struct {
 	// TextProb is the per-position probability (in percent) of emitting a
 	// text node (default 15).
 	TextProb int
+	// AttrProb is the per-element probability (in percent) of each
+	// attribute name in Attrs being present (default 0: no attributes).
+	AttrProb int
+	// Attrs is the attribute-name alphabet, used when AttrProb > 0
+	// (defaults to {"id", "k"}). Values are drawn from a small alphabet of
+	// short strings and numerals so random value comparisons collide
+	// often enough to be interesting.
+	Attrs []string
 }
 
 func (s *RandomSpec) defaults() {
@@ -35,6 +43,36 @@ func (s *RandomSpec) defaults() {
 	} else if s.TextProb == 0 {
 		s.TextProb = 15
 	}
+	if s.AttrProb > 0 && len(s.Attrs) == 0 {
+		s.Attrs = []string{"id", "k"}
+	}
+}
+
+// attrValues is the attribute-value alphabet: a handful of short strings
+// and numerals, so equality joins and numeric comparisons over random
+// documents produce both matches and misses.
+var attrValues = []string{"1", "2", "3", "10", "x", "y", "z1"}
+
+// Words returns the text-content vocabulary Random draws from, so query
+// generators can produce string literals that actually occur in
+// generated documents.
+func Words() []string { return words }
+
+// AttrValues returns the attribute-value alphabet Random draws from.
+func AttrValues() []string { return attrValues }
+
+// randAttrs draws each spec attribute independently with AttrProb.
+func randAttrs(r *rand.Rand, spec RandomSpec) []xmltree.Attr {
+	if spec.AttrProb <= 0 {
+		return nil
+	}
+	var attrs []xmltree.Attr
+	for _, name := range spec.Attrs {
+		if r.Intn(100) < spec.AttrProb {
+			attrs = append(attrs, xmltree.Attr{Name: name, Value: attrValues[r.Intn(len(attrValues))]})
+		}
+	}
+	return attrs
 }
 
 // Random generates a random well-formed document. Generation is
@@ -44,7 +82,7 @@ func Random(r *rand.Rand, spec RandomSpec) (*xmltree.Document, error) {
 	spec.defaults()
 	b := xmltree.NewBuilder()
 	budget := 1 + r.Intn(spec.MaxNodes)
-	b.Start(spec.Tags[r.Intn(len(spec.Tags))])
+	b.StartAttrs(spec.Tags[r.Intn(len(spec.Tags))], randAttrs(r, spec))
 	budget--
 	depth := 1
 	lastWasText := false
@@ -58,7 +96,7 @@ func Random(r *rand.Rand, spec RandomSpec) (*xmltree.Document, error) {
 			b.Text(words[r.Intn(len(words))])
 			lastWasText = true
 		case depth < spec.MaxDepth:
-			b.Start(spec.Tags[r.Intn(len(spec.Tags))])
+			b.StartAttrs(spec.Tags[r.Intn(len(spec.Tags))], randAttrs(r, spec))
 			depth++
 			budget--
 			lastWasText = false

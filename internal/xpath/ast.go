@@ -7,8 +7,10 @@ import (
 )
 
 // Axis is the step axis. The fragment covers the axes the paper's
-// formalism uses: child (/), descendant (//), self (.), attribute (@) and
-// following-sibling (which NoK pattern trees admit as a local axis).
+// formalism uses — child (/), descendant (//), self (.), attribute (@)
+// and following-sibling (which NoK pattern trees admit as a local axis)
+// — plus the upward parent (..) and ancestor axes, which light up the
+// reverse tree-pattern edge kinds of the survey literature.
 type Axis int
 
 // Axes.
@@ -18,12 +20,65 @@ const (
 	Self
 	FollowingSibling
 	Attribute
+	Parent
+	Ancestor
 )
+
+// axisTable is the single source of truth for the axis surface: every
+// supported axis, its axis::-syntax name, and its abbreviated rendering.
+// The parser's allow-list, the evaluators' error messages and the
+// printers all derive from it, so the "supported axes" diagnostics can
+// never drift from what the parser actually accepts.
+var axisTable = []struct {
+	axis   Axis
+	name   string // axis::-prefix spelling
+	abbrev string // abbreviated step prefix ("" when only axis:: syntax exists)
+}{
+	{Child, "child", "/"},
+	{Descendant, "descendant", "//"},
+	{Self, "self", "."},
+	{FollowingSibling, "following-sibling", ""},
+	{Attribute, "attribute", "/@"},
+	{Parent, "parent", "/.."},
+	{Ancestor, "ancestor", ""},
+}
+
+// AxisByName resolves an axis::-prefix name against the axis table.
+func AxisByName(name string) (Axis, bool) {
+	for _, e := range axisTable {
+		if e.name == name {
+			return e.axis, true
+		}
+	}
+	return 0, false
+}
+
+// Name returns the axis's axis::-syntax name ("child", "parent", …).
+func (a Axis) Name() string {
+	for _, e := range axisTable {
+		if e.axis == a {
+			return e.name
+		}
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// SupportedAxes renders the current allow-list ("child, descendant, …")
+// for diagnostics. It is generated from the axis table, so error
+// messages always report exactly the axes the parser accepts.
+func SupportedAxes() string {
+	names := make([]string, len(axisTable))
+	for i, e := range axisTable {
+		names[i] = e.name
+	}
+	return strings.Join(names, ", ")
+}
 
 // Local reports whether the axis is local in the paper's sense (usable
 // inside a NoK pattern tree without recursive matching). Descendant is
-// the global axis along which BlossomTrees are cut into NoK trees.
-func (a Axis) Local() bool { return a != Descendant }
+// the global axis along which BlossomTrees are cut into NoK trees;
+// ancestor is its upward mirror and equally non-local.
+func (a Axis) Local() bool { return a != Descendant && a != Ancestor }
 
 // String renders the axis in abbreviated XPath syntax.
 func (a Axis) String() string {
@@ -38,6 +93,10 @@ func (a Axis) String() string {
 		return "/following-sibling::"
 	case Attribute:
 		return "/@"
+	case Parent:
+		return "/.."
+	case Ancestor:
+		return "/ancestor::"
 	default:
 		return fmt.Sprintf("Axis(%d)", int(a))
 	}
@@ -135,6 +194,23 @@ func (p *Path) String() string {
 			continue
 		case FollowingSibling:
 			sb.WriteString("/following-sibling::")
+		case Parent:
+			if i > 0 || p.Source.Kind != SourceContext {
+				sb.WriteString("/")
+			}
+			if st.Test == "*" {
+				sb.WriteString("..")
+				for _, pr := range st.Preds {
+					sb.WriteString("[" + pr.String() + "]")
+				}
+				continue
+			}
+			sb.WriteString("parent::")
+		case Ancestor:
+			if i > 0 || p.Source.Kind != SourceContext {
+				sb.WriteString("/")
+			}
+			sb.WriteString("ancestor::")
 		case Attribute:
 			if i > 0 || p.Source.Kind != SourceContext {
 				sb.WriteString("/")
@@ -216,15 +292,18 @@ const (
 	OperandPath OperandKind = iota
 	OperandString
 	OperandNumber
+	OperandFunc
 )
 
 // Operand is one side of a comparison inside a predicate: a relative
-// path (including "." for the context node), or a literal.
+// path (including "." for the context node), a literal, or a core
+// library function call.
 type Operand struct {
 	Kind OperandKind
 	Path *Path
 	Str  string
 	Num  float64
+	Fn   *FuncCall
 }
 
 // String renders the operand.
@@ -234,11 +313,57 @@ func (o Operand) String() string {
 		return o.Path.String()
 	case OperandString:
 		return quoteLit(o.Str)
+	case OperandFunc:
+		return o.Fn.String()
 	default:
 		// 'f' keeps the rendering inside the lexer's digits-and-dot number
 		// syntax; 'g' would emit exponent forms the lexer cannot read back.
 		return strconv.FormatFloat(o.Num, 'f', -1, 64)
 	}
+}
+
+// funcArities maps each core library function to its accepted argument
+// counts. The table is the parser's allow-list; evaluators switch on the
+// same names, so an accepted call always has an evaluation.
+var funcArities = map[string][]int{
+	"contains":    {2},
+	"starts-with": {2},
+	"count":       {1},
+	"sum":         {1},
+	"string-join": {1, 2},
+	"number":      {0, 1},
+	"name":        {0, 1},
+}
+
+// IsCoreFunction reports whether name is one of the core library
+// functions (contains, starts-with, count, sum, string-join, number,
+// name). Parser-level pseudo-functions (position, not, text, doc,
+// exists, deep-equal) are not in this set — they have their own grammar
+// productions.
+func IsCoreFunction(name string) bool {
+	_, ok := funcArities[name]
+	return ok
+}
+
+// FuncCall is a call to a core library function. Calls appear as
+// comparison operands (count(a) = 2, number(@n) < 5) and, for the
+// boolean functions, directly as predicates ([contains(., "x")]) and
+// where-conditions; non-boolean calls in boolean position take their
+// XPath-1.0 effective boolean value (number ≠ 0, string ≠ "").
+type FuncCall struct {
+	Name string
+	Args []Operand
+}
+
+func (*FuncCall) isExpr() {}
+
+// String renders the call in source syntax.
+func (f *FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
 }
 
 // Expr is a predicate expression.

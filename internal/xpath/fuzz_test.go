@@ -23,6 +23,22 @@ func FuzzXPathParse(f *testing.F) {
 		"//*[b]",
 		".",
 		"//a['it''s'!=\"x\"]",
+		// Function calls in predicates.
+		`//a[contains(b, "x")]`,
+		`//a[starts-with(@id, "1")]`,
+		`//a[count(b) >= 2]`,
+		`//a[number(@n) < 3.5]`,
+		`//a[string-join(b, "-") = "x-y"]`,
+		`//book[name() = "book"]`,
+		// Upward axes.
+		"//a/b/..",
+		"//b/parent::a/c",
+		"//c/ancestor::a",
+		"//c/ancestor::*[b]",
+		// Positional predicates, mixed with other shapes.
+		"//a[1]",
+		"//a/b[2]/c",
+		"//a[@id][3]",
 	} {
 		f.Add(seed)
 	}

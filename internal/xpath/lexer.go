@@ -35,6 +35,7 @@ const (
 	TokAt               // @
 	TokStar             // *
 	TokDot              // .
+	TokDotDot           // .. (abbreviated parent axis)
 	TokComma            // ,
 	TokEq               // =
 	TokNeq              // !=
@@ -57,7 +58,7 @@ func (k TokKind) String() string {
 		TokRBrace: "}", TokAt: "@", TokStar: "*", TokDot: ".", TokComma: ",",
 		TokEq: "=", TokNeq: "!=", TokLt: "<", TokLe: "<=", TokGt: ">",
 		TokGe: ">=", TokBefore: "<<", TokAfter: ">>", TokAssign: ":=",
-		TokAxis: "axis::",
+		TokAxis: "axis::", TokDotDot: "..",
 	}
 	if s, ok := names[k]; ok {
 		return s
@@ -183,6 +184,8 @@ func (l *Lexer) Advance() {
 		emit(TokAfter, 2, ">>")
 	case two == ":=":
 		emit(TokAssign, 2, ":=")
+	case two == "..":
+		emit(TokDotDot, 2, "..")
 	case c == '/':
 		emit(TokSlash, 1, "/")
 	case c == '[':

@@ -3,6 +3,7 @@ package xpath
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Parse parses a complete path expression, e.g.
@@ -82,7 +83,7 @@ func parsePath(l *Lexer) *Path {
 	case TokSlash, TokDSlash:
 		p.Source = Source{Kind: SourceRoot}
 		parseSteps(l, p, true)
-	case TokDot, TokStar, TokAt, TokAxis:
+	case TokDot, TokDotDot, TokStar, TokAt, TokAxis:
 		p.Source = Source{Kind: SourceContext}
 		parseRelativeSteps(l, p)
 	default:
@@ -134,23 +135,20 @@ func parseStep(l *Lexer, axis Axis) (Step, bool) {
 	st := Step{Axis: axis}
 	switch tok := l.Tok(); tok.Kind {
 	case TokAxis:
-		switch tok.Text {
-		case "child":
-			st.Axis = Child
-		case "descendant":
-			st.Axis = Descendant
-		case "self":
-			st.Axis = Self
-		case "following-sibling":
-			st.Axis = FollowingSibling
-		case "attribute":
-			st.Axis = Attribute
-		default:
-			l.Errorf("unsupported axis %q (fragment allows child, descendant, self, following-sibling, attribute)", tok.Text)
+		ax, ok := AxisByName(tok.Text)
+		if !ok {
+			l.Errorf("unsupported axis %q (supported axes: %s)", tok.Text, SupportedAxes())
 			return st, false
 		}
+		st.Axis = ax
 		l.Advance()
 		return parseNodeTest(l, st)
+	case TokDotDot:
+		st.Axis = Parent
+		st.Test = "*"
+		l.Advance()
+		parsePredicates(l, &st)
+		return st, l.Err() == nil
 	case TokAt:
 		st.Axis = Attribute
 		l.Advance()
@@ -286,6 +284,11 @@ func parseComparison(l *Lexer) Expr {
 			l.Errorf("position() requires a comparison")
 			return Position{N: 1}
 		}
+		if left.Kind == OperandFunc {
+			// Bare function call in boolean position: its effective
+			// boolean value is the predicate.
+			return left.Fn
+		}
 		if left.Kind != OperandPath {
 			l.Errorf("literal predicate must be part of a comparison")
 			return Exists{Path: left.Path}
@@ -350,11 +353,14 @@ func parseOperand(l *Lexer) (Operand, bool) {
 			}
 			l.Push(save)
 		}
+		if fn := TryParseFuncCall(l); fn != nil {
+			return Operand{Kind: OperandFunc, Fn: fn}, false
+		}
 	}
 	// Relative path operand (includes "." and "@attr").
 	p := &Path{Source: Source{Kind: SourceContext}}
 	switch l.Tok().Kind {
-	case TokDot, TokName, TokStar, TokAt, TokAxis, TokSlash, TokDSlash:
+	case TokDot, TokDotDot, TokName, TokStar, TokAt, TokAxis, TokSlash, TokDSlash:
 		if l.Tok().Kind == TokSlash || l.Tok().Kind == TokDSlash {
 			parseSteps(l, p, true)
 		} else {
@@ -364,6 +370,70 @@ func parseOperand(l *Lexer) (Operand, bool) {
 		l.Errorf("expected operand, got %s", l.Tok().Kind)
 	}
 	return Operand{Kind: OperandPath, Path: p}, false
+}
+
+// TryParseFuncCall parses a core library function call when the current
+// token names one and an argument list follows; otherwise it restores
+// the lexer and returns nil. The FLWOR parser shares it for function
+// operands in where-conditions.
+func TryParseFuncCall(l *Lexer) *FuncCall {
+	tok := l.Tok()
+	if tok.Kind != TokName || !IsCoreFunction(tok.Text) {
+		return nil
+	}
+	save := tok
+	l.Advance()
+	if l.Tok().Kind != TokLParen {
+		l.Push(save)
+		return nil
+	}
+	l.Advance()
+	f := &FuncCall{Name: save.Text}
+	// Nested calls recurse through parseOperand; bound the cycle here.
+	if !l.Enter() {
+		return f
+	}
+	defer l.Leave()
+	if l.Tok().Kind != TokRParen {
+		for {
+			var arg Operand
+			if l.Tok().Kind == TokVar {
+				// Variable paths are valid arguments in where-condition
+				// context even though bare predicate operands stay
+				// relative-only.
+				arg = Operand{Kind: OperandPath, Path: parsePath(l)}
+			} else {
+				var isPos bool
+				arg, isPos = parseOperand(l)
+				if isPos {
+					l.Errorf("position() cannot be a function argument")
+					return f
+				}
+			}
+			f.Args = append(f.Args, arg)
+			if l.Tok().Kind != TokComma {
+				break
+			}
+			l.Advance()
+		}
+	}
+	if !expect(l, TokRParen) {
+		return f
+	}
+	ok := false
+	for _, n := range funcArities[f.Name] {
+		if n == len(f.Args) {
+			ok = true
+		}
+	}
+	if !ok {
+		counts := make([]string, len(funcArities[f.Name]))
+		for i, n := range funcArities[f.Name] {
+			counts[i] = strconv.Itoa(n)
+		}
+		l.Errorf("%s() takes %s argument(s), got %d", f.Name, strings.Join(counts, " or "), len(f.Args))
+	}
+	return f
 }
 
 func expect(l *Lexer, k TokKind) bool {

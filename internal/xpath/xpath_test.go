@@ -133,7 +133,7 @@ func TestParseErrors(t *testing.T) {
 		`/a[position()>2]`,
 		`/a[b=position()]`,
 		`/a[0]`,
-		`/a/ancestor::b`,
+		`/a/preceding-sibling::b`,
 		`/a/b extra`,
 		`/a[not(]`,
 		`/a b`,

@@ -171,11 +171,12 @@ func (r *Result) serialize(opts xmltree.WriteOptions) string {
 	return sb.String()
 }
 
-// Plan renders the executed physical plan (empty for navigational
-// evaluation).
+// Plan renders the executed physical plan. Navigational-fallback
+// evaluations render the fallback routing header instead; an explicitly
+// requested navigational run yields "".
 func (r *Result) Plan() string {
 	if r.inner.Plan == nil {
-		return ""
+		return r.inner.FallbackExplain()
 	}
 	return r.inner.Plan.Explain()
 }
@@ -186,7 +187,7 @@ func (r *Result) Plan() string {
 // ran with Options.Analyze.
 func (r *Result) ExplainAnalyze() string {
 	if r.inner.Plan == nil {
-		return ""
+		return r.inner.FallbackExplain()
 	}
 	return r.inner.Plan.ExplainTree(true)
 }
