@@ -56,8 +56,8 @@ proptest:
 # draining are exercised across interleavings.
 stress:
 	$(GO) test -race -timeout 120s -count=3 \
-		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits|PreparedRace|PlanCache' \
-		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault .
+		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits|PreparedRace|PlanCache|Vectorized' \
+		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault ./internal/vexec .
 
 # Daemon smoke: build blossomd, boot it on a random port, POST one
 # query, assert the /metrics latency histogram recorded it and the
@@ -71,9 +71,11 @@ bench:
 qps:
 	$(GO) run ./cmd/blossombench -qps -workers 4
 
-# Parser fuzzing: no panics, and every accepted input round-trips
-# through the printer. Seed corpora live under each package's
-# testdata/fuzz directory.
+# Fuzzing: the parsers must not panic and every accepted input must
+# round-trip through the printer; the compact NestedList form must
+# round-trip losslessly against the pointer form. Seed corpora live
+# under each package's testdata/fuzz directory.
 fuzz:
 	$(GO) test ./internal/xpath -run '^$$' -fuzz FuzzXPathParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/flwor -run '^$$' -fuzz FuzzFLWORParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nestedlist -run '^$$' -fuzz FuzzCompactRoundTrip -fuzztime $(FUZZTIME)

@@ -18,6 +18,7 @@ import (
 	"blossomtree"
 	"blossomtree/internal/bench"
 	"blossomtree/internal/core"
+	"blossomtree/internal/exec"
 	"blossomtree/internal/join"
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/nok"
@@ -236,6 +237,73 @@ func BenchmarkMicroStackJoin(b *testing.B) {
 			b.Fatal("no pairs")
 		}
 	}
+}
+
+// BenchmarkVectorizedJoin compares the two execution models on the
+// descendant-heavy chain queries of the Appendix-A suites: the
+// tuple-at-a-time cascade of binary stack semi-joins over node-pointer
+// lists vs the batch-at-a-time columnar pipeline over flat uint32
+// region columns. Both read the same inverted lists, so the delta is
+// the execution model alone.
+func BenchmarkVectorizedJoin(b *testing.B) {
+	for _, vq := range bench.VectorizedSuite() {
+		ds := dataset(b, vq.Dataset)
+		tags := bench.ChainTags(vq.Text)
+		// Warm the columnar projections so neither arm pays the lazy
+		// ColumnSet build.
+		if _, err := bench.ColumnarChainJoin(ds.Index, tags); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/%s/tuple", vq.Dataset, vq.ID), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := bench.TupleChainJoin(ds.Index, tags); len(got) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/%s/vectorized", vq.Dataset, vq.ID), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, err := bench.ColumnarChainJoin(ds.Index, tags)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVectorizedColdVsWarm measures the vectorized strategy end to
+// end through the engine: cold empties the shared plan cache before
+// every query (compile + execute), warm hits the cached prepared plan
+// and pays execution alone.
+func BenchmarkVectorizedColdVsWarm(b *testing.B) {
+	ds := dataset(b, "d2")
+	eng := blossomtree.NewEngine()
+	eng.LoadDocument("d2", ds.Doc)
+	const q = `//addresses//street_address//name_of_state`
+	opts := blossomtree.Options{Strategy: blossomtree.StrategyVectorized}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exec.ResetPlanCache()
+			if _, err := eng.QueryWith(q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := eng.QueryWith(q, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QueryWith(q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMicroParse measures XML parsing throughput (bytes reported

@@ -66,6 +66,10 @@ const (
 	// StrategyCostBased picks the cheapest sound strategy from the cost
 	// model (the paper's future-work optimizer, implemented here).
 	StrategyCostBased Strategy = "cost"
+	// StrategyVectorized runs chain queries batch-at-a-time over flat
+	// region-label columns (VEC). Requires tag indexes; queries outside
+	// the chain fragment fall back to the standard strategies.
+	StrategyVectorized Strategy = "vectorized"
 )
 
 func (s Strategy) toPlan() (plan.Strategy, error) {
@@ -82,6 +86,8 @@ func (s Strategy) toPlan() (plan.Strategy, error) {
 		return plan.Navigational, nil
 	case StrategyCostBased:
 		return plan.CostBased, nil
+	case StrategyVectorized:
+		return plan.Vectorized, nil
 	default:
 		return plan.Auto, fmt.Errorf("blossomtree: unknown strategy %q", s)
 	}

@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		file      = flag.String("file", "", "XML document to query (required)")
-		strategy  = flag.String("strategy", "auto", "join strategy: auto, pipelined, bounded-nl, twigstack, navigational")
+		strategy  = flag.String("strategy", "auto", "join strategy: auto, pipelined, bounded-nl, twigstack, navigational, cost, vectorized")
 		explain   = flag.Bool("explain", false, "execute the query and print the annotated plan tree (cost estimates next to actual counters and timings)")
 		explOnly  = flag.Bool("explain-only", false, "print the plan with estimates only, without executing")
 		metrics   = flag.Bool("metrics", false, "print the engine metrics registry after the run")

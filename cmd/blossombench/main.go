@@ -3,7 +3,8 @@
 //
 //	blossombench -table 1                 # dataset statistics (Table 1)
 //	blossombench -table 2                 # query categories + Appendix-A suites (Table 2)
-//	blossombench -table 3                 # running-time grid XH/TS/PL/NL (Table 3)
+//	blossombench -table 3                 # running-time grid XH/TS/PL/NL/VEC (Table 3)
+//	                                      # + the tuple-vs-columnar comparison
 //	blossombench -table 3 -scale 0.1 -timeout 60s -datasets d1,d5
 //	blossombench -qps -workers 4          # serial vs parallel batch throughput
 //
@@ -126,12 +127,21 @@ func main() {
 		}
 		fmt.Println("Table 3: running time in seconds (DNF = exceeded timeout)")
 		fmt.Print(bench.FormatTable3(rows))
+		vrows, err := bench.RunVectorizedCompare(bench.VectorizedConfig{
+			Seed: *seed, TargetNodes: targets, Repeats: *repeats, Datasets: cfg.Datasets,
+		}, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nVectorized columnar executor vs tuple-at-a-time stack join (beyond the paper)")
+		fmt.Print(bench.FormatVectorized(vrows))
 		if *jsonOut != "" {
 			f := &bench.ResultsFile{
 				Config: bench.ResultsConfig{
 					Seed: *seed, TimeoutS: timeout.Seconds(), Repeats: *repeats, TargetNodes: targets,
 				},
-				Table3: bench.Table3Results(rows),
+				Table3:     bench.Table3Results(rows),
+				Vectorized: bench.VectorizedResults(vrows),
 			}
 			if err := bench.WriteResults(*jsonOut, f); err != nil {
 				fatal(err)

@@ -40,6 +40,9 @@ func TestApplicable(t *testing.T) {
 	if !Applicable(XH, true) || !Applicable(TS, false) {
 		t.Error("XH/TS must always apply")
 	}
+	if !Applicable(VEC, true) || !Applicable(VEC, false) {
+		t.Error("VEC must always apply (its fallback keeps it total)")
+	}
 }
 
 // TestQueriesHaveMatches: every suite query returns at least one result
@@ -186,12 +189,12 @@ func TestTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// d2 and d5 are non-recursive: XH, TS, PL rows each.
-	if len(rows3) != 6 {
-		t.Fatalf("Table 3 rows = %d, want 6", len(rows3))
+	// d2 and d5 are non-recursive: XH, TS, PL, VEC rows each.
+	if len(rows3) != 8 {
+		t.Fatalf("Table 3 rows = %d, want 8", len(rows3))
 	}
 	out3 := FormatTable3(rows3)
-	for _, frag := range []string{"file", "XH", "TS", "PL", "Q6"} {
+	for _, frag := range []string{"file", "XH", "TS", "PL", "VEC", "Q6"} {
 		if !strings.Contains(out3, frag) {
 			t.Errorf("Table 3 output missing %q:\n%s", frag, out3)
 		}

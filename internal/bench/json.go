@@ -24,6 +24,10 @@ type ResultsFile struct {
 	// Table3 holds one record per measured (dataset, system, query)
 	// cell of the paper's running-time grid.
 	Table3 []CellResult `json:"table3,omitempty"`
+	// Vectorized holds the tuple-at-a-time vs columnar comparison cells
+	// (schema v2): per descendant chain, the mean latency of the chained
+	// stack semi-join and of the vectorized executor, and their ratio.
+	Vectorized []VectorizedResult `json:"vectorized,omitempty"`
 	// Throughput holds the serial-vs-parallel batch comparison rows of
 	// the -qps mode.
 	Throughput []ThroughputResult `json:"throughput,omitempty"`
@@ -55,6 +59,19 @@ type CellResult struct {
 	OutPerQuery     int64  `json:"out_per_q"`
 	DNF             bool   `json:"dnf"`
 	Error           string `json:"error,omitempty"`
+}
+
+// VectorizedResult is one chain query's tuple-vs-columnar comparison.
+type VectorizedResult struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+	Text    string `json:"text"`
+	Rows    int    `json:"rows"`
+	// TupleMeanS times the chained binary stack semi-join over node
+	// pointers; VectorizedMeanS the batch-at-a-time columnar pipeline.
+	TupleMeanS      float64 `json:"tuple_mean_s"`
+	VectorizedMeanS float64 `json:"vectorized_mean_s"`
+	Speedup         float64 `json:"speedup"`
 }
 
 // ThroughputResult is one dataset's serial-vs-parallel comparison.
@@ -123,6 +140,23 @@ func Table3Results(rows []Table3Row) []CellResult {
 	return out
 }
 
+// VectorizedResults converts comparison rows into JSON records.
+func VectorizedResults(rows []VectorizedRow) []VectorizedResult {
+	var out []VectorizedResult
+	for _, r := range rows {
+		out = append(out, VectorizedResult{
+			Dataset:         r.Dataset,
+			Query:           r.Query,
+			Text:            r.Text,
+			Rows:            r.Rows,
+			TupleMeanS:      r.TupleMean.Seconds(),
+			VectorizedMeanS: r.VecMean.Seconds(),
+			Speedup:         r.Speedup,
+		})
+	}
+	return out
+}
+
 // ThroughputResults converts throughput rows into JSON records.
 func ThroughputResults(rows []ThroughputRow) []ThroughputResult {
 	var out []ThroughputResult
@@ -148,7 +182,9 @@ func ThroughputResults(rows []ThroughputRow) []ThroughputResult {
 // WriteResults marshals a results file (indented, trailing newline) to
 // path.
 func WriteResults(path string, f *ResultsFile) error {
-	f.SchemaVersion = 1
+	// v2 added the VEC system's table3 cells and the vectorized
+	// tuple-vs-columnar comparison section.
+	f.SchemaVersion = 2
 	if f.GeneratedAt == "" {
 		f.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

@@ -24,20 +24,25 @@ type System string
 // X-Hive/DB (see DESIGN.md §2); TS, PL and NL are the paper's join
 // operators. Per §5.2, PL applies only to non-recursive datasets (its
 // order-preservation precondition) and NL is reported on the recursive
-// ones where PL is unavailable.
+// ones where PL is unavailable. VEC goes beyond the paper: the
+// batch-at-a-time columnar executor, which runs pure descendant/child
+// chains natively and falls back per its totality contract everywhere
+// else (so its cells on branching queries measure the fallback plan).
 const (
-	XH System = "XH"
-	TS System = "TS"
-	PL System = "PL"
-	NL System = "NL"
+	XH  System = "XH"
+	TS  System = "TS"
+	PL  System = "PL"
+	NL  System = "NL"
+	VEC System = "VEC"
 )
 
-// Systems lists the Table 3 systems in paper order.
-func Systems() []System { return []System{XH, TS, PL, NL} }
+// Systems lists the Table 3 systems in paper order, plus VEC.
+func Systems() []System { return []System{XH, TS, PL, NL, VEC} }
 
 // Applicable reports whether the paper runs the system on a dataset of
 // the given recursiveness (Table 3 shows NL on recursive d1/d4, PL on
-// non-recursive d2/d3/d5; XH and TS run everywhere).
+// non-recursive d2/d3/d5; XH, TS and VEC run everywhere — VEC's
+// Build-time fallback keeps it total).
 func Applicable(s System, recursive bool) bool {
 	switch s {
 	case PL:
@@ -170,6 +175,9 @@ func runPlanned(ds *Dataset, path *xpath.Path, sys System, budget gov.Budget) (i
 		opts.Strategy = plan.Pipelined
 	case NL:
 		opts.Strategy = plan.BoundedNL
+	case VEC:
+		opts.Strategy = plan.Vectorized
+		opts.Index = ds.Index
 	default:
 		return 0, 0, fmt.Errorf("bench: unknown system %q", sys)
 	}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blossomtree/internal/index"
+	"blossomtree/internal/join"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/vexec"
+	"blossomtree/internal/xmltree"
+)
+
+// The vectorized-vs-tuple comparison (beyond the paper): the same
+// descendant chain evaluated by the tuple-at-a-time binary structural
+// join (chained stack semi-joins over node-pointer lists, the §4.3
+// operator) and by the batch-at-a-time columnar executor
+// (internal/vexec, fixed-size batches of region-label triples over flat
+// uint32 columns). Both consume the same tag-index inverted lists, so
+// the delta isolates the execution model: pointer chasing and
+// per-tuple call overhead vs branch-light column loops.
+
+// VectorizedQuery is one chain query of the comparison suite.
+type VectorizedQuery struct {
+	Dataset string
+	ID      string // Appendix-A query id on that dataset
+	Text    string
+}
+
+// VectorizedSuite lists the descendant-heavy pure-chain queries of the
+// Appendix-A suites — the fragment the columnar executor accepts
+// natively, so both sides run the identical logical plan.
+func VectorizedSuite() []VectorizedQuery {
+	return []VectorizedQuery{
+		{"d1", "Q1", `//a//b4`},
+		{"d2", "Q1", `//addresses//street_address//name_of_state`},
+		{"d2", "Q3", `//addresses//street_address`},
+		{"d3", "Q3", `//publisher//street_information//street_address`},
+		{"d3", "Q5", `//author//mailing_address//street_address`},
+	}
+}
+
+// ChainTags splits a pure descendant chain (`//a//b//c`) into its tag
+// sequence.
+func ChainTags(text string) []string {
+	return strings.Split(strings.TrimPrefix(text, "//"), "//")
+}
+
+// TupleChainJoin is the tuple-at-a-time baseline: the chain evaluated
+// as a cascade of binary stack semi-joins over the inverted lists,
+// deduplicating the descendant side between steps (the StackJoinAnc
+// idiom, kept on the descendant side), and returns the surviving tail
+// nodes in document order.
+func TupleChainJoin(ix *index.TagIndex, tags []string) []*xmltree.Node {
+	cur := ix.Nodes(tags[0])
+	for _, tag := range tags[1:] {
+		descs := ix.Nodes(tag)
+		matched := make(map[*xmltree.Node]bool, len(descs))
+		for _, p := range join.StackJoin(cur, descs) {
+			matched[p.Desc] = true
+		}
+		next := make([]*xmltree.Node, 0, len(matched))
+		for _, d := range descs {
+			if matched[d] {
+				next = append(next, d)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// ColumnarChainJoin evaluates the same chain through the vectorized
+// pipeline and returns the surviving tail nodes in document order.
+func ColumnarChainJoin(ix *index.TagIndex, tags []string) ([]*xmltree.Node, error) {
+	stages := make([]vexec.Stage, len(tags))
+	for i, tag := range tags {
+		stages[i] = vexec.Stage{
+			Cols:      ix.Columns(tag),
+			Edge:      vexec.EdgeDescendant,
+			ScanStats: obs.NewOpStats("VecScan", tag),
+			JoinStats: obs.NewOpStats("VecSemiJoin", tag),
+		}
+	}
+	a := vexec.NewArena()
+	defer a.Release()
+	ords, err := vexec.Run(stages, nil, a)
+	if err != nil {
+		return nil, err
+	}
+	tail := stages[len(stages)-1].Cols
+	out := make([]*xmltree.Node, len(ords))
+	for i, o := range ords {
+		out[i] = tail.Nodes[o]
+	}
+	return out, nil
+}
+
+// VectorizedRow is one query's comparison: mean per-run latency of both
+// execution models over the repeats and their ratio.
+type VectorizedRow struct {
+	Dataset   string
+	Query     string
+	Text      string
+	Rows      int // result rows (identical on both sides by construction)
+	TupleMean time.Duration
+	VecMean   time.Duration
+	Speedup   float64 // tuple mean / vectorized mean
+}
+
+// VectorizedConfig configures the comparison run.
+type VectorizedConfig struct {
+	Seed        int64
+	TargetNodes map[string]int // per dataset; missing = default scale
+	Repeats     int            // timed runs per side per query
+	Datasets    []string       // restrict the suite to these datasets (empty = all)
+}
+
+// RunVectorizedCompare measures the suite. Before timing, each query's
+// two sides are cross-checked row-for-row — a disagreement is an error,
+// not a slow cell, so the table can't silently compare different work.
+func RunVectorizedCompare(cfg VectorizedConfig, progress func(string)) ([]VectorizedRow, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 5
+	}
+	allowed := map[string]bool{}
+	for _, id := range cfg.Datasets {
+		allowed[id] = true
+	}
+	datasets := map[string]*Dataset{}
+	var rows []VectorizedRow
+	for _, vq := range VectorizedSuite() {
+		if len(allowed) > 0 && !allowed[vq.Dataset] {
+			continue
+		}
+		ds, ok := datasets[vq.Dataset]
+		if !ok {
+			var err error
+			ds, err = LoadDataset(vq.Dataset, cfg.TargetNodes[vq.Dataset], cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			datasets[vq.Dataset] = ds
+		}
+		tags := ChainTags(vq.Text)
+
+		tup := TupleChainJoin(ds.Index, tags)
+		vec, err := ColumnarChainJoin(ds.Index, tags)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s %s vectorized: %w", vq.Dataset, vq.ID, err)
+		}
+		if len(tup) != len(vec) {
+			return nil, fmt.Errorf("bench: %s %s: tuple join returns %d rows, vectorized %d",
+				vq.Dataset, vq.ID, len(tup), len(vec))
+		}
+		for i := range tup {
+			if tup[i] != vec[i] {
+				return nil, fmt.Errorf("bench: %s %s: row %d differs between execution models",
+					vq.Dataset, vq.ID, i)
+			}
+		}
+
+		tupMean := timeMean(cfg.Repeats, func() { TupleChainJoin(ds.Index, tags) })
+		vecMean := timeMean(cfg.Repeats, func() { ColumnarChainJoin(ds.Index, tags) })
+		row := VectorizedRow{
+			Dataset:   vq.Dataset,
+			Query:     vq.ID,
+			Text:      vq.Text,
+			Rows:      len(tup),
+			TupleMean: tupMean,
+			VecMean:   vecMean,
+		}
+		if vecMean > 0 {
+			row.Speedup = float64(tupMean) / float64(vecMean)
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("  %s %s: tuple %v, vectorized %v (%.2fx, %d rows)",
+				vq.Dataset, vq.ID, tupMean, vecMean, row.Speedup, row.Rows))
+		}
+	}
+	return rows, nil
+}
+
+func timeMean(repeats int, f func()) time.Duration {
+	var total time.Duration
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		f()
+		total += time.Since(start)
+	}
+	return total / time.Duration(repeats)
+}
+
+// FormatVectorized renders the comparison rows as a table.
+func FormatVectorized(rows []VectorizedRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-3s %-48s %8s %12s %12s %8s\n",
+		"file", "q", "chain", "rows", "tuple", "vectorized", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-4s %-3s %-48s %8d %12s %12s %7.2fx\n",
+			r.Dataset, r.Query, r.Text, r.Rows, r.TupleMean, r.VecMean, r.Speedup)
+	}
+	return sb.String()
+}

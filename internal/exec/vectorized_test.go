@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"blossomtree/internal/gov"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmlgen"
+	"blossomtree/internal/xmltree"
+)
+
+// vexecChainDoc builds a document whose //a//b result has exactly n
+// rows (one <a> holding n <b/> children, plus a decoy subtree).
+func vexecChainDoc(n int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.Start("r")
+	b.Start("c")
+	b.Start("b")
+	b.End()
+	b.End()
+	b.Start("a")
+	for i := 0; i < n; i++ {
+		b.Start("b")
+		b.End()
+	}
+	b.End()
+	b.End()
+	return b.MustDone()
+}
+
+// TestVectorizedBatchBoundaries runs result sets sized exactly at the
+// batch edges (0, 1, 1023, 1024, 1025, 2049) through the whole engine
+// under the vectorized strategy and requires byte-identical canonical
+// results against the navigational oracle — both as a bare path and
+// through a FLWOR iteration.
+func TestVectorizedBatchBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 1023, 1024, 1025, 2*1024 + 1} {
+		e := New()
+		e.Add("d", vexecChainDoc(n))
+		for _, q := range []string{`//a//b`, `for $x in doc("d")//a//b return $x`} {
+			want, err := e.EvalOptions(q, plan.Options{Strategy: plan.Navigational})
+			if err != nil {
+				t.Fatalf("n=%d %q navigational: %v", n, q, err)
+			}
+			got, err := e.EvalOptions(q, plan.Options{Strategy: plan.Vectorized})
+			if err != nil {
+				t.Fatalf("n=%d %q vectorized: %v", n, q, err)
+			}
+			if strings.HasPrefix(q, "//") && len(got.Nodes) != n {
+				// Nodes is the path-query projection; FLWOR results land
+				// in instances/environments and are covered by Canonical.
+				t.Errorf("n=%d %q: vectorized returned %d nodes", n, q, len(got.Nodes))
+			}
+			if Canonical(got) != Canonical(want) {
+				t.Errorf("n=%d %q: vectorized disagrees with navigational\n%s", n, q, got.Plan.ExplainTree(true))
+			}
+		}
+	}
+}
+
+// TestVectorizedBudgetAbortMidBatch exhausts a node budget inside the
+// columnar pipeline and asserts the typed abort surfaces with the
+// partial per-operator stats recorded up to the abort (the partial
+// EXPLAIN ANALYZE), including the batch counters.
+func TestVectorizedBudgetAbortMidBatch(t *testing.T) {
+	e := New()
+	e.Add("d", vexecChainDoc(3000))
+	_, err := e.EvalOptions(`//a//b`, plan.Options{
+		Strategy: plan.Vectorized,
+		Budget:   gov.Budget{MaxNodes: 1500},
+	})
+	if err == nil {
+		t.Fatal("expected a budget abort")
+	}
+	if !errors.Is(err, gov.ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded, got %v", err)
+	}
+	st, ok := gov.StatsOf(err)
+	if !ok || st == nil {
+		t.Fatalf("abort error carries no partial stats: %v", err)
+	}
+	if st.TotalScanned() == 0 {
+		t.Errorf("partial stats scanned nothing:\n%s", st.Render(true))
+	}
+	render := st.Render(true)
+	if !strings.Contains(render, "VecScan") {
+		t.Errorf("partial stats tree has no vectorized operators:\n%s", render)
+	}
+	if !strings.Contains(render, "batches=") {
+		t.Errorf("partial stats tree lost the batch counters:\n%s", render)
+	}
+}
+
+// TestVectorizedFallback pins the totality contract: queries outside
+// the chain fragment run under the Vectorized strategy anyway, via a
+// Build-time fallback recorded as an EXPLAIN note — even though the
+// request was explicit.
+func TestVectorizedFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	doc := xmlgen.MustRandom(r, xmlgen.RandomSpec{Tags: []string{"a", "b", "c"}, MaxNodes: 80, MaxDepth: 6})
+	e := New()
+	e.Add("d", doc)
+	for _, q := range []string{`//a[b]//c`, `for $x in doc("d")//a, $y in doc("d")//b where $x << $y return $y`} {
+		want, err := e.EvalOptions(q, plan.Options{Strategy: plan.Navigational})
+		if err != nil {
+			t.Fatalf("%q navigational: %v", q, err)
+		}
+		got, err := e.EvalOptions(q, plan.Options{Strategy: plan.Vectorized})
+		if err != nil {
+			t.Fatalf("%q vectorized (should fall back, not error): %v", q, err)
+		}
+		if Canonical(got) != Canonical(want) {
+			t.Errorf("%q: fallback result disagrees with navigational", q)
+		}
+		if expl := got.Plan.Explain(); !strings.Contains(expl, "vectorized executor incompatible") {
+			t.Errorf("%q: EXPLAIN lacks the fallback note:\n%s", q, expl)
+		}
+		if got.Plan.Strategy == plan.Vectorized {
+			t.Errorf("%q: plan still claims the vectorized strategy after fallback", q)
+		}
+	}
+}
+
+// TestVectorizedPlanCacheWarm asserts the vectorized strategy flows
+// through the plan cache untouched: a repeat evaluation is a cache hit
+// with byte-identical results.
+func TestVectorizedPlanCacheWarm(t *testing.T) {
+	e := New()
+	e.Add("d", vexecChainDoc(100))
+	cold, err := e.EvalOptions(`//a//b`, plan.Options{Strategy: plan.Vectorized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.EvalOptions(`//a//b`, plan.Options{Strategy: plan.Vectorized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second vectorized evaluation missed the plan cache")
+	}
+	if Canonical(cold) != Canonical(warm) {
+		t.Error("warm vectorized result differs from cold")
+	}
+	if expl := warm.Plan.Explain(); !strings.Contains(expl, "plan cache: hit") {
+		t.Errorf("warm EXPLAIN lacks the cache-hit header:\n%s", expl)
+	}
+}
+
+// TestVectorizedConcurrentQueryAddRace drives concurrent vectorized
+// queries against concurrent document adds under the race detector: the
+// arena slab pool is shared process-wide, so this asserts recycled
+// batch memory never aliases a live query's batches (each query must
+// see an internally consistent, correctly sized result for whichever
+// snapshot it pinned).
+func TestVectorizedConcurrentQueryAddRace(t *testing.T) {
+	e := New()
+	e.Add("d", vexecChainDoc(1024+13))
+	var wg sync.WaitGroup
+	const queriers = 4
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				res, err := e.EvalOptions(`//a//b`, plan.Options{Strategy: plan.Vectorized})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// Every snapshot's chain doc has n >= 1024 b-rows under
+				// the single a; whichever snapshot was pinned, all rows
+				// must be b-elements under an a ancestor — torn batches
+				// from a recycled slab would break this.
+				if len(res.Nodes) < 1024 {
+					t.Errorf("worker %d: result torn: %d rows", w, len(res.Nodes))
+					return
+				}
+				for _, n := range res.Nodes {
+					if n.Tag != "b" || n.Parent == nil || n.Parent.Tag != "a" {
+						t.Errorf("worker %d: alien row tag=%s start=%d", w, n.Tag, n.Start)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			e.Add(fmt.Sprintf("extra-%d", i), vexecChainDoc(1024+14+i))
+		}
+	}()
+	wg.Wait()
+}

@@ -34,6 +34,7 @@ const (
 	SiteIndexStream Site = "index.stream" // index.Stream cursor advances
 	SiteNavStep     Site = "naveval.step" // navigational per-context-node steps
 	SiteOutput      Site = "exec.output"  // root-level result emissions
+	SiteVexec       Site = "vexec.batch"  // vectorized executor, hit once per batch
 )
 
 // rule is one armed fault: fire when the site's hit counter reaches k.

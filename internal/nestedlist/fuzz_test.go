@@ -1,0 +1,152 @@
+package nestedlist
+
+import (
+	"testing"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/xmltree"
+)
+
+// byteCursor consumes fuzz input one byte at a time, yielding zeros
+// once exhausted — so every input decodes to some valid build script.
+type byteCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *byteCursor) next() byte {
+	if c.pos >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b
+}
+
+// fuzzShape decodes a returning-tree shape from the cursor: up to six
+// returning vertices in a random tree off one document root, all on
+// //-edges (which Finalize marks returning, giving every vertex a slot).
+func fuzzShape(c *byteCursor) *core.ReturnTree {
+	bt := core.NewBlossomTree()
+	root := bt.AddRoot("")
+	n := 1 + int(c.next())%6
+	verts := make([]*core.Vertex, 0, n)
+	tags := []string{"a", "b", "c", "d", "e", "f"}
+	for i := 0; i < n; i++ {
+		v := bt.NewVertex(tags[i])
+		parent := root
+		if len(verts) > 0 && c.next()%2 == 0 {
+			parent = verts[int(c.next())%len(verts)]
+		}
+		bt.AddChild(parent, v, core.RelDescendant, core.Mandatory)
+		verts = append(verts, v)
+	}
+	return bt.Finalize()
+}
+
+// fuzzPool builds a small fixed document whose elements serve as the
+// instance's node pool (round-tripping is structural, so any nodes do).
+func fuzzPool() []*xmltree.Node {
+	b := xmltree.NewBuilder()
+	b.Start("r")
+	for i := 0; i < 3; i++ {
+		b.Start("x")
+		b.Start("y")
+		b.End()
+		b.End()
+	}
+	b.End()
+	doc := b.MustDone()
+	var pool []*xmltree.Node
+	xmltree.Elements(doc.Root, func(n *xmltree.Node) { pool = append(pool, n) })
+	return pool
+}
+
+// fuzzInstance decodes a pointer-form instance over the shape: per
+// shape node (BFS), each parent item gets a group of 0–2 items, each
+// either a real node from the pool or a placeholder (nil node), and
+// each slot's filled bit is drawn from the script.
+func fuzzInstance(c *byteCursor, rt *core.ReturnTree, pool []*xmltree.Node) *List {
+	l := NewInstance(rt)
+	parentItems := map[int][]*Item{0: {l.Root}}
+	queue := append([]*core.ReturnNode(nil), rt.Root.Children...)
+	for len(queue) > 0 {
+		sn := queue[0]
+		queue = queue[1:]
+		queue = append(queue, sn.Children...)
+		ord := sn.ChildOrdinal()
+		var items []*Item
+		parentSlot := 0
+		if sn.Parent != nil {
+			parentSlot = sn.Parent.Slot
+		}
+		for _, p := range parentItems[parentSlot] {
+			for k := int(c.next()) % 3; k > 0; k-- {
+				var node *xmltree.Node
+				if c.next()%2 == 0 {
+					node = pool[int(c.next())%len(pool)]
+				}
+				it := NewItem(node, len(sn.Children))
+				p.Groups[ord] = append(p.Groups[ord], it)
+				items = append(items, it)
+			}
+		}
+		parentItems[sn.Slot] = items
+		if c.next()%2 == 0 {
+			l.SetFilled(sn.Slot)
+		}
+	}
+	return l
+}
+
+// FuzzCompactRoundTrip asserts the Figure-6 compact form is lossless:
+// any pointer-form instance survives FromList → ToList with identical
+// structure (String), per-slot projections, and filled bitmap, and the
+// compact offsets are a consistent CSR partition of each column.
+func FuzzCompactRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1, 0, 1})
+	f.Add([]byte{3, 0, 0, 1, 1, 2, 0, 1, 2, 3, 0, 1, 0, 1})
+	f.Add([]byte{5, 1, 0, 0, 1, 1, 1, 2, 2, 0, 2, 1, 0, 2, 2, 1, 0, 0, 1, 1, 2, 0})
+	f.Add([]byte{6, 0, 5, 0, 4, 0, 3, 0, 2, 0, 1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2})
+	pool := fuzzPool()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := &byteCursor{data: data}
+		rt := fuzzShape(c)
+		l := fuzzInstance(c, rt, pool)
+
+		cp := FromList(l)
+		back := cp.ToList()
+
+		if got, want := back.String(), l.String(); got != want {
+			t.Fatalf("round trip changed structure:\n got %s\nwant %s", got, want)
+		}
+		for slot := range rt.Nodes {
+			if cp.IsFilled(slot) != l.IsFilled(slot) || back.IsFilled(slot) != l.IsFilled(slot) {
+				t.Fatalf("slot %d: filled bit lost (list=%v compact=%v back=%v)",
+					slot, l.IsFilled(slot), cp.IsFilled(slot), back.IsFilled(slot))
+			}
+			want := l.ProjectSlot(slot)
+			for which, got := range [][]*xmltree.Node{cp.ProjectSlot(slot), back.ProjectSlot(slot)} {
+				if len(got) != len(want) {
+					t.Fatalf("slot %d projection %d: %d nodes, want %d", slot, which, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("slot %d projection %d: node %d differs", slot, which, i)
+					}
+				}
+			}
+			// CSR consistency: offsets non-decreasing, spanning the column.
+			offs := cp.Offsets[slot]
+			if len(offs) == 0 || offs[0] != 0 || int(offs[len(offs)-1]) != len(cp.Nodes[slot]) {
+				t.Fatalf("slot %d: offsets %v do not span column of %d", slot, offs, len(cp.Nodes[slot]))
+			}
+			for i := 1; i < len(offs); i++ {
+				if offs[i] < offs[i-1] {
+					t.Fatalf("slot %d: offsets %v decrease", slot, offs)
+				}
+			}
+		}
+	})
+}

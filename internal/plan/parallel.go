@@ -19,7 +19,7 @@ import (
 // baseScan consults preScanned first, so the subsequent operator build
 // replays the materialized lists instead of re-scanning.
 func (p *Plan) preScanParallel(workers int) error {
-	if p.Strategy == Twig || p.Strategy == Navigational {
+	if p.Strategy == Twig || p.Strategy == Navigational || p.Strategy == Vectorized {
 		return nil
 	}
 	targets := p.scanTargets()

@@ -45,6 +45,7 @@ const (
 	Twig                         // TS: holistic TwigStack over tag indexes
 	Navigational                 // whole-query navigational evaluation (the XH stand-in)
 	CostBased                    // pick the cheapest sound strategy from the cost model
+	Vectorized                   // VEC: batch-at-a-time columnar pipeline over the tag index
 )
 
 // String names the strategy as in the paper's tables.
@@ -64,6 +65,8 @@ func (s Strategy) String() string {
 		return "XH"
 	case CostBased:
 		return "cost"
+	case Vectorized:
+		return "VEC"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -228,6 +231,20 @@ func Build(q *core.Query, doc *xmltree.Document, opts Options) (*Plan, error) {
 			}
 		}
 	}
+	if p.Strategy == Vectorized {
+		if err := p.vexecCompatible(); err != nil {
+			// Unlike Twig, even an explicit Vectorized request falls back
+			// (with an EXPLAIN note) instead of erroring: the vectorized
+			// path is an optimization over a fragment, and the harness
+			// runs it as a blanket strategy axis over every query.
+			p.note("vectorized executor incompatible (%v); falling back", err)
+			if opts.Stats.Recursive {
+				p.Strategy = BoundedNL
+			} else {
+				p.Strategy = Pipelined
+			}
+		}
+	}
 	p.note("strategy %s over %d NoKs, %d links, %d crossings",
 		p.Strategy, len(d.NoKs), len(d.Links), len(q.Tree.Crossings))
 	return p, nil
@@ -368,9 +385,12 @@ func (p *Plan) Operator() (join.Operator, error) {
 	var op join.Operator
 	var st *obs.OpStats
 	var err error
-	if p.Strategy == Twig {
+	switch p.Strategy {
+	case Twig:
 		op, st, err = p.buildTwig()
-	} else {
+	case Vectorized:
+		op, st, err = p.buildVectorized()
+	default:
 		op, st, err = p.buildNoKPlan()
 	}
 	// Install the stats tree even when the build aborts (a governed

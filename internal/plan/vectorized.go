@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"fmt"
+
+	"blossomtree/internal/core"
+	"blossomtree/internal/join"
+	"blossomtree/internal/nestedlist"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/vexec"
+	"blossomtree/internal/xmltree"
+)
+
+// The vectorized strategy runs chain queries — a single pattern tree
+// that is a pure /- and //-chain off the document root — as a
+// batch-at-a-time columnar pipeline (internal/vexec) instead of the
+// tuple-at-a-time operator tree. Results are materialized as
+// tail-slot-only NestedList instances, which project to exactly the
+// node sets the tuple plans produce, so the executor's canonical output
+// is byte-identical by construction. Queries outside the chain fragment
+// fall back to the standard strategies at Build time (with a note);
+// unlike Twig the fallback also applies to explicit requests, keeping
+// the strategy total over the whole query surface for the differential
+// and property harnesses.
+
+// vexecCompatible reports whether the query can run natively on the
+// vectorized executor.
+func (p *Plan) vexecCompatible() error {
+	if p.opts.Index == nil {
+		return fmt.Errorf("plan: vectorized executor needs a tag index")
+	}
+	q := p.Query
+	if len(q.Tree.Roots) != 1 || len(q.Tree.Crossings) > 0 || len(q.Residual) > 0 {
+		return fmt.Errorf("plan: vectorized executor handles single pattern trees without crossings")
+	}
+	root := q.Tree.Roots[0]
+	if !root.IsDocRoot() || len(root.Children) != 1 {
+		return fmt.Errorf("plan: vectorized executor needs one chain off the document root")
+	}
+	chain, err := p.vexecChain()
+	if err != nil {
+		return err
+	}
+	tail := chain[len(chain)-1]
+	for name, v := range q.Vars {
+		if v != tail {
+			return fmt.Errorf("plan: vectorized executor binds only the chain tail ($%s is bound mid-chain)", name)
+		}
+	}
+	return nil
+}
+
+// vexecChain returns the pattern tree's vertices as a root-to-tail
+// chain, validating the chain shape (one child per vertex, mandatory
+// /- or //-edges, no positional predicates).
+func (p *Plan) vexecChain() ([]*core.Vertex, error) {
+	var chain []*core.Vertex
+	for v := p.Query.Tree.Roots[0].Children[0]; ; v = v.Children[0] {
+		if v.ParentRel != core.RelChild && v.ParentRel != core.RelDescendant {
+			return nil, fmt.Errorf("plan: vectorized executor supports /- and //-edges only (%s edge to %s)",
+				v.ParentRel, v.Label())
+		}
+		if v.ParentMode != core.Mandatory {
+			return nil, fmt.Errorf("plan: vectorized executor supports mandatory edges only (%s)", v.Label())
+		}
+		if _, has := v.PositionConstraint(); has {
+			return nil, fmt.Errorf("plan: vectorized executor cannot order positional predicates (%s)", v.Label())
+		}
+		chain = append(chain, v)
+		if len(v.Children) == 0 {
+			return chain, nil
+		}
+		if len(v.Children) > 1 {
+			return nil, fmt.Errorf("plan: vectorized executor handles chains, not branching patterns (%s)", v.Label())
+		}
+	}
+}
+
+// buildVectorized runs the columnar pipeline and adapts the surviving
+// tail rows to the instance stream interface. Like buildTwig it runs at
+// build time: on a governed abort the stats recorded so far are handed
+// back with the error as the partial EXPLAIN ANALYZE.
+func (p *Plan) buildVectorized() (join.Operator, *obs.OpStats, error) {
+	chain, err := p.vexecChain()
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := p.opts.Index
+
+	// One stage per chain step. The stats tree nests left-deep like the
+	// operator pipeline it mirrors: each semi-join adopts the previous
+	// stage's node and its own scan.
+	stages := make([]vexec.Stage, len(chain))
+	var prev *obs.OpStats
+	for i, v := range chain {
+		edge := vexec.EdgeDescendant
+		if v.ParentRel == core.RelChild {
+			edge = vexec.EdgeChild
+		}
+		cols := ix.Columns(v.Test)
+		scan := obs.NewOpStats("VecScan", fmt.Sprintf("columns(%s) batch=%d", v.Test, vexec.BatchSize))
+		scan.EstNodes = float64(cols.Len())
+		scan.EstOut = p.cardinality(v)
+		stages[i] = vexec.Stage{Cols: cols, Edge: edge, ScanStats: scan}
+		if len(v.Constraints) > 0 {
+			stages[i].Filter = v.MatchesNode
+		}
+		if i == 0 {
+			prev = scan
+			continue
+		}
+		jn := obs.NewOpStats("VecSemiJoin",
+			fmt.Sprintf("%s%s%s", chain[i-1].Label(), edge, v.Label()))
+		jn.EstNodes = p.cardinality(chain[i-1]) + p.cardinality(v)
+		jn.EstOut = p.cardinality(v)
+		jn.Adopt(prev, scan)
+		stages[i].JoinStats = jn
+		prev = jn
+	}
+	tail := chain[len(chain)-1]
+	rootStats := obs.NewOpStats("VecMaterialize", fmt.Sprintf("%d-stage chain, tail %s", len(chain), tail.Label()))
+	rootStats.EstOut = p.cardinality(tail)
+	rootStats.Adopt(prev)
+
+	a := vexec.NewArena()
+	defer a.Release()
+	ords, err := vexec.Run(stages, p.gov, a)
+	if err != nil {
+		// The pipeline runs at build time, so a governed abort here must
+		// still hand back the stats recorded up to the abort.
+		return nil, rootStats, err
+	}
+	rn, ok := p.Query.Return.ByVertex(tail)
+	if !ok {
+		return nil, rootStats, fmt.Errorf("plan: vectorized chain tail %s has no returning slot", tail.Label())
+	}
+	tailCols := ix.Columns(tail.Test)
+	ls := make([]*nestedlist.List, 0, len(ords))
+	for _, o := range ords {
+		ls = append(ls, p.vexecInstance(rn, tailCols.Nodes[o]))
+	}
+	p.note("vectorized pipeline: %d stages, %d matches", len(stages), len(ls))
+	return join.Instrument(join.NewSliceOperator(ls), rootStats), rootStats, nil
+}
+
+// vexecInstance builds a tail-slot-only NestedList instance for one
+// surviving tail node: a placeholder spine down the returning tree with
+// the tail's item as the only real match. Projection skips placeholder
+// items, so the instance projects to exactly {n} on the tail slot and
+// to nothing elsewhere — which is all the executor's result projection
+// (path results and FLWOR variable environments, both tail-bound under
+// vexecCompatible) ever reads.
+func (p *Plan) vexecInstance(rn *core.ReturnNode, n *xmltree.Node) *nestedlist.List {
+	var spine []*core.ReturnNode
+	for x := rn; x.Parent != nil; x = x.Parent {
+		spine = append(spine, x)
+	}
+	l := nestedlist.NewInstance(p.Query.Return)
+	sink := l.Root
+	for i := len(spine) - 1; i >= 0; i-- {
+		sn := spine[i]
+		var node *xmltree.Node
+		if i == 0 {
+			node = n
+		}
+		it := nestedlist.NewItem(node, len(sn.Children))
+		sink.Groups[sn.ChildOrdinal()] = append(sink.Groups[sn.ChildOrdinal()], it)
+		sink = it
+	}
+	l.SetFilled(rn.Slot)
+	return l
+}

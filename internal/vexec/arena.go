@@ -1,0 +1,58 @@
+package vexec
+
+import "sync"
+
+// slabWords is the size of one pooled allocation: the four uint32
+// columns of one batch, carved from a single contiguous slab so a batch
+// costs one allocation (amortized to zero once the pool is warm).
+const slabWords = 4 * BatchSize
+
+// slabPool recycles column slabs across queries. Slabs are plain
+// []uint32 — they hold no pointers, so pooling them is GC-transparent.
+var slabPool = sync.Pool{
+	New: func() any {
+		s := make([]uint32, slabWords)
+		return &s
+	},
+}
+
+// Arena owns the batch memory of one query execution. All batches of a
+// pipeline are carved from pooled slabs the arena tracks; Release
+// returns every slab at once when the pipeline has materialized its
+// result. An arena is single-query, single-goroutine — concurrent
+// queries each build their own, and the pool underneath is what they
+// share safely.
+//
+// Lifetime contract: batch columns are dead the moment Release runs.
+// Nothing allocated from an arena may outlive it — the pipeline's
+// output (node ordinals) is copied into an ordinary slice before the
+// arena is released, and only *xmltree.Node pointers resolved from
+// those ordinals escape to the instance stream.
+type Arena struct {
+	slabs []*[]uint32
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// NewBatch carves one batch (four BatchSize columns) from a pooled slab.
+func (a *Arena) NewBatch() *Batch {
+	sp := slabPool.Get().(*[]uint32)
+	a.slabs = append(a.slabs, sp)
+	s := *sp
+	return &Batch{
+		Start: s[0*BatchSize : 1*BatchSize],
+		End:   s[1*BatchSize : 2*BatchSize],
+		Level: s[2*BatchSize : 3*BatchSize],
+		Ord:   s[3*BatchSize : 4*BatchSize],
+	}
+}
+
+// Release returns every slab to the pool. The arena is reusable but
+// every batch carved before Release is invalidated.
+func (a *Arena) Release() {
+	for _, s := range a.slabs {
+		slabPool.Put(s)
+	}
+	a.slabs = nil
+}

@@ -1,0 +1,323 @@
+// Package vexec is the batch-at-a-time vectorized execution path for
+// chain queries: cursors exchange fixed-size batches of region-label
+// triples (start, end, level) over flat []uint32 columns sourced from
+// the tag index's columnar projections (index.ColumnSet), instead of
+// pulling one NestedList instance at a time through pointer-chasing
+// operators.
+//
+// The pipeline shape mirrors the paper's index scan → stack-based
+// structural join plan: a scan cursor per chain step filters the step's
+// column set, and a semi-join cursor per edge keeps the descendant-side
+// rows that have a qualifying ancestor on the previous stage, using the
+// classic merge stack carried across batch boundaries. Because every
+// stream is in document order and region labels nest, both edge kinds
+// reduce to O(1) checks per row against the stack:
+//
+//   - //-edge: after popping entries that end before the row starts,
+//     every remaining stack entry contains the row, so a proper
+//     ancestor exists iff the stack bottom started strictly before it;
+//   - /-edge: the remaining entries are exactly the row's containing
+//     candidates in nesting (= level) order, so the parent qualifies
+//     iff the topmost proper entry sits one level up.
+//
+// Batch memory comes from a per-query Arena over a process-wide slab
+// pool, so steady-state execution allocates nothing per batch; governor
+// node-accounting is charged once per batch rather than once per row.
+package vexec
+
+import (
+	"blossomtree/internal/fault"
+	"blossomtree/internal/gov"
+	"blossomtree/internal/index"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/xmltree"
+)
+
+// BatchSize is the number of rows exchanged per batch: matched to the
+// governor's 1024-tick amortization window, so one budget check per
+// batch gives the same granularity the tuple-at-a-time operators get
+// from their per-row amortized ticks.
+const BatchSize = 1024
+
+// Batch is one unit of exchange: parallel region-label columns plus the
+// row's ordinal in its stage's ColumnSet (for materializing the node
+// pointers of surviving rows). Only the first N rows are valid.
+type Batch struct {
+	Start, End, Level, Ord []uint32
+	N                      int
+}
+
+// Edge is the structural relationship between a stage and its
+// predecessor (for the first stage: the document root).
+type Edge uint8
+
+// Edge kinds.
+const (
+	EdgeDescendant Edge = iota // //-edge: previous stage is a proper ancestor
+	EdgeChild                  // /-edge: previous stage is the parent
+)
+
+// String renders the edge in XPath syntax.
+func (e Edge) String() string {
+	if e == EdgeChild {
+		return "/"
+	}
+	return "//"
+}
+
+// Stage is one chain step: the step's columnar inverted list, an
+// optional row filter (value constraints; nil accepts every row), the
+// edge connecting it to the previous stage, and the stats nodes its
+// cursors report into. ScanStats receives the column scan's counters;
+// JoinStats (unused on the first stage, which has no join) receives the
+// semi-join's.
+type Stage struct {
+	Cols      *index.ColumnSet
+	Filter    func(*xmltree.Node) bool
+	Edge      Edge
+	ScanStats *obs.OpStats
+	JoinStats *obs.OpStats
+}
+
+// cursor produces batches; fill leaves out.N == 0 at end of stream.
+type cursor interface {
+	fill(out *Batch) error
+}
+
+// Run executes the chain pipeline and returns the ColumnSet ordinals of
+// the tail stage's surviving rows, in document order. The returned
+// slice is an ordinary allocation — it stays valid after the arena is
+// released. A governance violation (budget, cancellation, injected
+// fault) aborts with the governor's sticky error; the stages' stats
+// carry the partial counts recorded up to the abort.
+func Run(stages []Stage, g *gov.Governor, a *Arena) ([]uint32, error) {
+	if len(stages) == 0 {
+		return nil, nil
+	}
+	var cur cursor = newScanCursor(stages[0], g)
+	for _, st := range stages[1:] {
+		cur = newSemiJoinCursor(cur, st, g, a)
+	}
+	out := a.NewBatch()
+	var ords []uint32
+	for {
+		if err := cur.fill(out); err != nil {
+			return nil, err
+		}
+		if out.N == 0 {
+			return ords, nil
+		}
+		ords = append(ords, out.Ord[:out.N]...)
+	}
+}
+
+// scanCursor streams a stage's ColumnSet in batches, applying the row
+// filter and — for a /-edge off the document root — the level==1
+// restriction (children of the document element's parent are exactly
+// the level-1 elements).
+type scanCursor struct {
+	cols      *index.ColumnSet
+	filter    func(*xmltree.Node) bool
+	rootChild bool
+	pos       int
+	stats     *obs.OpStats
+	gov       *gov.Governor
+}
+
+func newScanCursor(st Stage, g *gov.Governor) *scanCursor {
+	return &scanCursor{
+		cols:      st.Cols,
+		filter:    st.Filter,
+		rootChild: st.Edge == EdgeChild,
+		stats:     st.ScanStats,
+		gov:       g,
+	}
+}
+
+func (c *scanCursor) fill(out *Batch) error {
+	out.N = 0
+	cs := c.cols
+	n := cs.Len()
+	from := c.pos
+	if c.filter == nil && !c.rootChild {
+		// Fast path: straight column copy, no per-row branches.
+		take := n - from
+		if take > BatchSize {
+			take = BatchSize
+		}
+		copy(out.Start[:take], cs.Start[from:from+take])
+		copy(out.End[:take], cs.End[from:from+take])
+		copy(out.Level[:take], cs.Level[from:from+take])
+		for k := 0; k < take; k++ {
+			out.Ord[k] = uint32(from + k)
+		}
+		out.N = take
+		c.pos += take
+	} else {
+		for c.pos < n && out.N < BatchSize {
+			i := c.pos
+			c.pos++
+			if c.rootChild && cs.Level[i] != 1 {
+				continue
+			}
+			if c.filter != nil && !c.filter(cs.Nodes[i]) {
+				continue
+			}
+			k := out.N
+			out.Start[k] = cs.Start[i]
+			out.End[k] = cs.End[i]
+			out.Level[k] = cs.Level[i]
+			out.Ord[k] = uint32(i)
+			out.N++
+		}
+	}
+	scanned := int64(c.pos - from)
+	if scanned == 0 {
+		return nil // exhausted; no work, no tick
+	}
+	c.stats.AddScanned(scanned)
+	c.stats.AddEmitted(int64(out.N))
+	c.stats.AddBatches(1)
+	// One governor charge per batch — the whole point of batching the
+	// accounting. The check granularity matches the tuple operators'
+	// 1024-tick amortization.
+	return c.gov.Scanned(fault.SiteVexec, scanned)
+}
+
+// semiJoinCursor keeps the descendant-side (inner) rows that have a
+// qualifying ancestor in the outer stream, via the merge stack carried
+// across batch boundaries. Output order is the inner stream's order
+// (document order), which keeps the order invariant for the next stage.
+type semiJoinCursor struct {
+	outer, inner cursor
+	child        bool // /-edge (parent) vs //-edge (proper ancestor)
+
+	ob, ib     *Batch // live input batches
+	op, ip     int    // read positions
+	oEOF, iEOF bool
+
+	// The merge stack: region labels of outer candidates whose regions
+	// are still open at the merge frontier, outermost at the bottom.
+	// Plain slices, not pooled — depth is bounded by document depth.
+	sStart, sEnd, sLevel []uint32
+
+	stats *obs.OpStats
+	gov   *gov.Governor
+}
+
+func newSemiJoinCursor(outer cursor, st Stage, g *gov.Governor, a *Arena) *semiJoinCursor {
+	// The inner scan is a plain column scan (the rootChild restriction
+	// only applies to the first stage, so Edge is pinned descendant).
+	inner := Stage{Cols: st.Cols, Filter: st.Filter, ScanStats: st.ScanStats, Edge: EdgeDescendant}
+	return &semiJoinCursor{
+		outer: outer,
+		inner: newScanCursor(inner, g),
+		child: st.Edge == EdgeChild,
+		ob:    a.NewBatch(),
+		ib:    a.NewBatch(),
+		stats: st.JoinStats,
+		gov:   g,
+	}
+}
+
+func (c *semiJoinCursor) fill(out *Batch) error {
+	out.N = 0
+	for out.N < BatchSize {
+		// Refill the inner (descendant) side.
+		if c.ip >= c.ib.N {
+			if c.iEOF {
+				break
+			}
+			if err := c.inner.fill(c.ib); err != nil {
+				return err
+			}
+			c.ip = 0
+			if c.ib.N == 0 {
+				c.iEOF = true
+				break
+			}
+		}
+		dStart := c.ib.Start[c.ip]
+		// Push every outer candidate starting at or before d. Candidates
+		// whose region closed before d never contain anything at or past
+		// d and are dropped without a push; otherwise entries that ended
+		// before the candidate opens are popped first, keeping the stack
+		// strictly nested.
+		for !c.oEOF {
+			if c.op >= c.ob.N {
+				if err := c.outer.fill(c.ob); err != nil {
+					return err
+				}
+				c.op = 0
+				if c.ob.N == 0 {
+					c.oEOF = true
+					break
+				}
+			}
+			aStart := c.ob.Start[c.op]
+			if aStart > dStart {
+				break
+			}
+			aEnd := c.ob.End[c.op]
+			aLevel := c.ob.Level[c.op]
+			c.op++
+			c.stats.AddComparisons(1)
+			if aEnd < dStart {
+				continue
+			}
+			for n := len(c.sStart); n > 0 && c.sEnd[n-1] < aStart; n = len(c.sStart) {
+				c.popStack()
+			}
+			c.sStart = append(c.sStart, aStart)
+			c.sEnd = append(c.sEnd, aEnd)
+			c.sLevel = append(c.sLevel, aLevel)
+			c.stats.ObserveStackDepth(len(c.sStart))
+		}
+		// Close candidates that ended before d. What remains all
+		// contains d (start <= dStart <= end), nested, levels strictly
+		// increasing toward the top.
+		for n := len(c.sStart); n > 0 && c.sEnd[n-1] < dStart; n = len(c.sStart) {
+			c.popStack()
+		}
+		c.stats.AddComparisons(1)
+		ok := false
+		if n := len(c.sStart); n > 0 {
+			if c.child {
+				// The only possible non-proper entry is d itself (equal
+				// start), necessarily on top; the parent, if it is a
+				// candidate, sits directly below at level-1.
+				top := n - 1
+				if c.sStart[top] == dStart {
+					top--
+				}
+				ok = top >= 0 && c.sLevel[top] == c.ib.Level[c.ip]-1
+			} else {
+				// Any proper ancestor suffices; the bottom entry is the
+				// outermost, so it is proper iff it started before d.
+				ok = c.sStart[0] < dStart
+			}
+		}
+		if ok {
+			k := out.N
+			out.Start[k] = dStart
+			out.End[k] = c.ib.End[c.ip]
+			out.Level[k] = c.ib.Level[c.ip]
+			out.Ord[k] = c.ib.Ord[c.ip]
+			out.N++
+		}
+		c.ip++
+	}
+	c.stats.AddEmitted(int64(out.N))
+	if out.N > 0 {
+		c.stats.AddBatches(1)
+	}
+	// Amortized cancellation/fault point, once per produced batch.
+	return c.gov.Emitted(fault.SiteVexec)
+}
+
+func (c *semiJoinCursor) popStack() {
+	n := len(c.sStart) - 1
+	c.sStart = c.sStart[:n]
+	c.sEnd = c.sEnd[:n]
+	c.sLevel = c.sLevel[:n]
+}

@@ -1,0 +1,243 @@
+package vexec
+
+import (
+	"fmt"
+	"testing"
+
+	"blossomtree/internal/gov"
+	"blossomtree/internal/index"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/xmltree"
+)
+
+// chainDoc builds a document whose //a//b result set has exactly n rows:
+// one <a> under the root holding n <b/> children, plus a decoy <c> with
+// a <b/> outside any <a> (which must not qualify).
+func chainDoc(t *testing.T, n int) *xmltree.Document {
+	t.Helper()
+	b := xmltree.NewBuilder()
+	b.Start("r")
+	b.Start("c")
+	b.Start("b")
+	b.End()
+	b.End()
+	b.Start("a")
+	for i := 0; i < n; i++ {
+		b.Start("b")
+		b.End()
+	}
+	b.End()
+	b.End()
+	return b.MustDone()
+}
+
+// runChain executes a stage pipeline over the index for the given tags
+// and edges and returns the surviving tail nodes.
+func runChain(t *testing.T, ix *index.TagIndex, g *gov.Governor, steps []Stage) ([]*xmltree.Node, error) {
+	t.Helper()
+	a := NewArena()
+	defer a.Release()
+	ords, err := Run(steps, g, a)
+	if err != nil {
+		return nil, err
+	}
+	tail := steps[len(steps)-1].Cols
+	out := make([]*xmltree.Node, len(ords))
+	for i, o := range ords {
+		out[i] = tail.Nodes[o]
+	}
+	return out, nil
+}
+
+// stage builds a Stage with fresh stats for tag under edge.
+func stage(ix *index.TagIndex, tag string, edge Edge) Stage {
+	return Stage{
+		Cols:      ix.Columns(tag),
+		Edge:      edge,
+		ScanStats: obs.NewOpStats("VecScan", tag),
+		JoinStats: obs.NewOpStats("VecSemiJoin", tag),
+	}
+}
+
+// oracle computes the expected tail set forward, one step at a time:
+// level i keeps the elements of tags[i] whose parent (child edge) or
+// some proper ancestor (descendant edge) survived level i-1. child[0]
+// pins the head at level 1 (a /-edge off the document root).
+func oracle(doc *xmltree.Document, tags []string, child []bool) []*xmltree.Node {
+	cur := map[*xmltree.Node]bool{}
+	xmltree.Elements(doc.Root, func(n *xmltree.Node) {
+		if n.Tag == tags[0] && (!child[0] || n.Level == 1) {
+			cur[n] = true
+		}
+	})
+	for i := 1; i < len(tags); i++ {
+		next := map[*xmltree.Node]bool{}
+		xmltree.Elements(doc.Root, func(n *xmltree.Node) {
+			if n.Tag != tags[i] {
+				return
+			}
+			if child[i] {
+				if cur[n.Parent] {
+					next[n] = true
+				}
+				return
+			}
+			for p := n.Parent; p != nil; p = p.Parent {
+				if cur[p] {
+					next[n] = true
+					return
+				}
+			}
+		})
+		cur = next
+	}
+	var out []*xmltree.Node
+	xmltree.Elements(doc.Root, func(n *xmltree.Node) {
+		if cur[n] {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+func sameNodes(t *testing.T, got, want []*xmltree.Node, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d: got start=%d, want start=%d", label, i, got[i].Start, want[i].Start)
+		}
+	}
+}
+
+// TestBatchBoundarySizes pins the batch-edge off-by-ones: result sets
+// sized exactly 0, 1, BatchSize-1, BatchSize, BatchSize+1 and
+// 2*BatchSize+1 must all come through the two-stage pipeline intact.
+func TestBatchBoundarySizes(t *testing.T) {
+	for _, n := range []int{0, 1, BatchSize - 1, BatchSize, BatchSize + 1, 2*BatchSize + 1} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			doc := chainDoc(t, n)
+			ix := index.Build(doc)
+			got, err := runChain(t, ix, nil, []Stage{
+				stage(ix, "a", EdgeDescendant),
+				stage(ix, "b", EdgeDescendant),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("//a//b over chainDoc(%d): got %d rows", n, len(got))
+			}
+			for _, g := range got {
+				if g.Tag != "b" || g.Parent.Tag != "a" {
+					t.Fatalf("row start=%d tag=%s parent=%s", g.Start, g.Tag, g.Parent.Tag)
+				}
+			}
+		})
+	}
+}
+
+// TestEdgeKinds cross-checks child and descendant edges — including the
+// self-nesting //a//a and //a/a shapes whose stack top can be the row
+// itself — against a navigational oracle on a nested document.
+func TestEdgeKinds(t *testing.T) {
+	b := xmltree.NewBuilder()
+	b.Start("a") // level 1
+	b.Start("a") // nested a: //a//a row, //a/a row
+	b.Start("b")
+	b.Start("a") // a under b: //a//a row, not //a/a
+	b.End()
+	b.End()
+	b.Start("a")
+	b.End()
+	b.End()
+	b.Start("b")
+	b.Start("b")
+	b.End()
+	b.End()
+	b.End()
+	doc := b.MustDone()
+	ix := index.Build(doc)
+
+	cases := []struct {
+		name  string
+		tags  []string
+		child []bool // edge kinds, index 0 = edge off the document root
+	}{
+		{"desc-desc aa", []string{"a", "a"}, []bool{false, false}},
+		{"desc-child aa", []string{"a", "a"}, []bool{false, true}},
+		{"desc-desc ab", []string{"a", "b"}, []bool{false, false}},
+		{"desc-child ab", []string{"a", "b"}, []bool{false, true}},
+		{"rootchild-desc ab", []string{"a", "b"}, []bool{true, false}},
+		{"desc-desc bb", []string{"b", "b"}, []bool{false, false}},
+		{"three-stage aba", []string{"a", "b", "a"}, []bool{false, false, false}},
+		{"three-stage child", []string{"a", "b", "a"}, []bool{false, true, true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			steps := make([]Stage, len(tc.tags))
+			for i, tag := range tc.tags {
+				e := EdgeDescendant
+				if tc.child[i] {
+					e = EdgeChild
+				}
+				steps[i] = stage(ix, tag, e)
+			}
+			got, err := runChain(t, ix, nil, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle(doc, tc.tags, tc.child)
+			sameNodes(t, got, want, tc.name)
+		})
+	}
+}
+
+// TestGovernedBudgetAbortMidBatch arms a node budget smaller than the
+// pipeline's scan volume and asserts the typed abort arrives and the
+// stage stats carry the partial counts recorded up to the abort.
+func TestGovernedBudgetAbortMidBatch(t *testing.T) {
+	doc := chainDoc(t, 2*BatchSize+1)
+	ix := index.Build(doc)
+	g := gov.New(nil, gov.Budget{MaxNodes: BatchSize + 10}, nil)
+	steps := []Stage{
+		stage(ix, "a", EdgeDescendant),
+		stage(ix, "b", EdgeDescendant),
+	}
+	_, err := runChain(t, ix, g, steps)
+	if err == nil {
+		t.Fatal("expected budget abort")
+	}
+	var scanned int64
+	for _, s := range steps {
+		scanned += s.ScanStats.Scanned()
+	}
+	if scanned == 0 {
+		t.Fatal("partial stats lost: no scanned counts survived the abort")
+	}
+	if b := steps[1].ScanStats.Batches(); b == 0 {
+		t.Errorf("inner scan recorded no batches before the abort")
+	}
+}
+
+// TestArenaReuse runs many pipelines back to back so slabs recycle
+// through the pool, and checks results stay correct — a regression
+// guard for batch memory leaking across queries.
+func TestArenaReuse(t *testing.T) {
+	doc := chainDoc(t, BatchSize+7)
+	ix := index.Build(doc)
+	for i := 0; i < 50; i++ {
+		got, err := runChain(t, ix, nil, []Stage{
+			stage(ix, "a", EdgeDescendant),
+			stage(ix, "b", EdgeDescendant),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != BatchSize+7 {
+			t.Fatalf("iteration %d: got %d rows, want %d", i, len(got), BatchSize+7)
+		}
+	}
+}
