@@ -5,6 +5,8 @@
 #   make check   — tier-2 verify: go vet + race-detector test run
 #                  (includes the cancellation stress pass)
 #   make stress  — cancellation/fault-injection stress under -race
+#   make chaos   — shard-tier chaos suite: deterministic scatter/gather/
+#                  admission faults under -race (retry, degrade, shed)
 #   make smoke   — boot blossomd, query it over HTTP, scrape /metrics
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
@@ -20,7 +22,7 @@ FUZZTIME ?= 30s
 PROPSEED ?= 0xB10550
 PROPCASES ?= 2500
 
-.PHONY: build test vet race check stress smoke bench qps fuzz proptest
+.PHONY: build test vet race check stress chaos smoke bench qps fuzz proptest
 
 build:
 	$(GO) build ./...
@@ -38,7 +40,7 @@ race:
 # full suite under the race detector, which exercises the concurrent
 # Add+Eval stress tests against the snapshot engine, plus the
 # cancellation stress pass.
-check: vet race stress smoke proptest
+check: vet race stress chaos smoke proptest
 
 # Property-based differential harness: PROPCASES random documents, four
 # random queries each, every join strategy ± parallel ± warm plan cache
@@ -58,6 +60,16 @@ stress:
 	$(GO) test -race -timeout 120s -count=3 \
 		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits|PreparedRace|PlanCache|Vectorized' \
 		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault ./internal/vexec .
+
+# Shard-tier chaos: deterministic fault injection at the scatter,
+# gather, and admission sites under the race detector. Proves the three
+# robustness paths — transient failure absorbed by the retry, persistent
+# failure degraded out of the gather with a correct partial result, and
+# overload shed with 429/Retry-After — across interleavings.
+chaos:
+	$(GO) test -race -timeout 120s -count=2 \
+		-run 'Chaos|Admission|Shed|Degrad|Scatter|Gather|FailTimes|FailFrom|Differential|ClientCanceled' \
+		./internal/shard ./internal/fault ./internal/server .
 
 # Daemon smoke: build blossomd, boot it on a random port, POST one
 # query, assert the /metrics latency histogram recorded it and the

@@ -38,6 +38,7 @@ import (
 	"blossomtree/internal/exec"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
+	"blossomtree/internal/shard"
 	"blossomtree/internal/storage"
 	"blossomtree/internal/xmltree"
 )
@@ -126,6 +127,11 @@ type Options struct {
 	// and GET /trace/{queryID}); empty means the engine generates one,
 	// readable afterwards via Result.QueryID.
 	QueryID string
+	// Shards bounds the scatter fan-out of QueryAllDocuments /
+	// QueryAllGathered on a sharded engine: at most Shards shard
+	// sub-queries run concurrently (0 = all shards at once). Ignored on
+	// unsharded engines.
+	Shards int
 }
 
 func (o Options) toPlan() (plan.Options, error) {
@@ -152,6 +158,10 @@ func (o Options) toPlan() (plan.Options, error) {
 // loading. Any number of goroutines may query while others load.
 type Engine struct {
 	inner *exec.Engine
+	// group is non-nil for sharded engines (NewEngineSharded): documents
+	// and queries route through the consistent-hash shard group instead
+	// of one inner engine, and inner is nil.
+	group *shard.Group
 }
 
 // NewEngine returns an engine with tag-index support enabled.
@@ -175,7 +185,7 @@ func (e *Engine) Load(uri string, r io.Reader) error {
 		return err
 	}
 	doc.Name = uri
-	e.inner.Add(uri, doc)
+	e.add(uri, doc)
 	return nil
 }
 
@@ -186,7 +196,7 @@ func (e *Engine) LoadString(uri, xml string) error {
 		return err
 	}
 	doc.Name = uri
-	e.inner.Add(uri, doc)
+	e.add(uri, doc)
 	return nil
 }
 
@@ -196,14 +206,14 @@ func (e *Engine) LoadFile(uri, path string) error {
 	if err != nil {
 		return err
 	}
-	e.inner.Add(uri, doc)
+	e.add(uri, doc)
 	return nil
 }
 
 // LoadDocument registers an already-built document (e.g. from the
 // generator tooling).
 func (e *Engine) LoadDocument(uri string, doc *xmltree.Document) {
-	e.inner.Add(uri, doc)
+	e.add(uri, doc)
 }
 
 // LoadSegment registers a document stored in the succinct binary
@@ -218,7 +228,7 @@ func (e *Engine) LoadSegment(uri string, data []byte) error {
 		return err
 	}
 	doc.Name = uri
-	e.inner.Add(uri, doc)
+	e.add(uri, doc)
 	return nil
 }
 
@@ -252,7 +262,7 @@ func (e *Engine) Stats(uri string) (DocumentStats, error) {
 }
 
 func (e *Engine) resolve(uri string) (*xmltree.Document, error) {
-	if doc, ok := e.inner.Document(uri); ok {
+	if doc, ok := e.document(uri); ok {
 		return doc, nil
 	}
 	return nil, fmt.Errorf("blossomtree: no document registered for %q", uri)
@@ -280,7 +290,12 @@ func (e *Engine) QueryWith(src string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.inner.EvalOptions(src, popts)
+	var res *exec.Result
+	if e.group != nil {
+		res, err = e.group.Eval(src, popts)
+	} else {
+		res, err = e.inner.EvalOptions(src, popts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +310,11 @@ func (e *Engine) QueryWith(src string, opts Options) (*Result, error) {
 // any Load*. A Prepared is immutable and safe for concurrent Runs.
 type Prepared struct {
 	inner *exec.Prepared
+	// Sharded prepared queries route each Run through the group (the
+	// process-wide plan cache keeps repeated Runs warm); inner is nil.
+	group *shard.Group
+	src   string
+	opts  plan.Options
 }
 
 // Prepare parses and compile-checks a query for repeated execution
@@ -311,6 +331,14 @@ func (e *Engine) PrepareWith(src string, opts Options) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.group != nil {
+		// Routing + compiling the plan surfaces syntax and planning errors
+		// at prepare time, as on the unsharded path.
+		if _, err := e.group.Explain(src, popts); err != nil {
+			return nil, err
+		}
+		return &Prepared{group: e.group, src: src, opts: popts}, nil
+	}
 	p, err := e.inner.Prepare(src, popts)
 	if err != nil {
 		return nil, err
@@ -319,11 +347,23 @@ func (e *Engine) PrepareWith(src string, opts Options) (*Prepared, error) {
 }
 
 // Source returns the prepared query's text.
-func (p *Prepared) Source() string { return p.inner.Source() }
+func (p *Prepared) Source() string {
+	if p.group != nil {
+		return p.src
+	}
+	return p.inner.Source()
+}
 
 // Run evaluates the prepared query against the engine's current
 // document catalog.
 func (p *Prepared) Run() (*Result, error) {
+	if p.group != nil {
+		res, err := p.group.Eval(p.src, p.opts)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(res), nil
+	}
 	res, err := p.inner.Run()
 	if err != nil {
 		return nil, err
@@ -334,6 +374,15 @@ func (p *Prepared) Run() (*Result, error) {
 // RunContext is Run under a context: the evaluation aborts with
 // ErrCanceled when ctx is canceled or its deadline passes.
 func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
+	if p.group != nil {
+		opts := p.opts
+		opts.Ctx = ctx
+		res, err := p.group.Eval(p.src, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(res), nil
+	}
 	res, err := p.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
@@ -357,7 +406,12 @@ func (e *Engine) QueryBatch(srcs []string, opts Options, workers int) ([]BatchRe
 	if err != nil {
 		return nil, err
 	}
-	raw := e.inner.EvalBatch(srcs, popts, workers)
+	var raw []exec.BatchResult
+	if e.group != nil {
+		raw = e.group.EvalBatch(srcs, popts, workers)
+	} else {
+		raw = e.inner.EvalBatch(srcs, popts, workers)
+	}
 	out := make([]BatchResult, len(raw))
 	for i, r := range raw {
 		out[i] = BatchResult{Query: r.Query, Err: r.Err}
@@ -374,6 +428,9 @@ type DocumentResult struct {
 	URI    string
 	Result *Result
 	Err    error
+	// Shard is the shard that evaluated the document on a sharded
+	// engine; 0 otherwise.
+	Shard int
 }
 
 // QueryAllDocuments evaluates one query independently against every
@@ -383,22 +440,23 @@ type DocumentResult struct {
 // queries the single-document planner rejects. Results are sorted by
 // URI.
 func (e *Engine) QueryAllDocuments(src string, opts Options, workers int) ([]DocumentResult, error) {
-	popts, err := opts.toPlan()
-	if err != nil {
-		return nil, err
-	}
-	raw, err := e.inner.EvalAllDocs(src, popts, workers)
-	if err != nil {
-		return nil, err
-	}
+	return e.QueryAllDocumentsContext(context.Background(), src, opts, workers)
+}
+
+// docResults converts executor per-document results into the public
+// form, annotating each with its owning shard on sharded engines.
+func (e *Engine) docResults(raw []exec.DocResult) []DocumentResult {
 	out := make([]DocumentResult, len(raw))
 	for i, r := range raw {
 		out[i] = DocumentResult{URI: r.URI, Err: r.Err}
 		if r.Result != nil {
 			out[i].Result = newResult(r.Result)
 		}
+		if e.group != nil {
+			out[i].Shard, _ = e.group.ShardOf(r.URI)
+		}
 	}
-	return out, nil
+	return out
 }
 
 // Explain compiles a query and renders the physical plan the optimizer
@@ -406,15 +464,19 @@ func (e *Engine) QueryAllDocuments(src string, opts Options, workers int) ([]Doc
 // crossing-edge placement, the cost model's strategy table, and the
 // annotated operator tree with per-operator cost estimates.
 func (e *Engine) Explain(src string) (string, error) {
-	return e.inner.Explain(src)
+	return e.ExplainWith(src, Options{})
 }
 
 // ExplainWith is Explain with explicit options (forced strategy,
-// parallelism).
+// parallelism). On a sharded engine the EXPLAIN routes to the shard
+// owning the query's document, like evaluation.
 func (e *Engine) ExplainWith(src string, opts Options) (string, error) {
 	popts, err := opts.toPlan()
 	if err != nil {
 		return "", err
+	}
+	if e.group != nil {
+		return e.group.Explain(src, popts)
 	}
 	return e.inner.ExplainOptions(src, popts)
 }
@@ -424,7 +486,7 @@ func (e *Engine) ExplainWith(src string, opts Options) (string, error) {
 // estimates side by side with the counters and wall times the run
 // actually recorded — the EXPLAIN ANALYZE of relational engines.
 func (e *Engine) ExplainAnalyze(src string) (string, error) {
-	return e.inner.ExplainAnalyze(src)
+	return e.ExplainAnalyzeWith(src, Options{})
 }
 
 // ExplainAnalyzeWith is ExplainAnalyze with explicit options.
@@ -432,6 +494,9 @@ func (e *Engine) ExplainAnalyzeWith(src string, opts Options) (string, error) {
 	popts, err := opts.toPlan()
 	if err != nil {
 		return "", err
+	}
+	if e.group != nil {
+		return e.group.ExplainAnalyze(src, popts)
 	}
 	return e.inner.ExplainAnalyzeOptions(src, popts)
 }

@@ -41,6 +41,7 @@ func main() {
 		qps      = flag.Bool("qps", false, "measure serial vs parallel batch throughput instead of a table")
 		workers  = flag.Int("workers", 0, "parallel worker count for -qps (0 = all cores)")
 		rounds   = flag.Int("rounds", 20, "suite repetitions per -qps batch")
+		shards   = flag.Int("shards", 0, "-qps: also compare catalog-wide fan-out vs an N-shard scatter-gather over N document copies")
 		metrics  = flag.Bool("metrics", false, "print the engine metrics registry after the run")
 		jsonOut  = flag.String("json", "", "also write machine-readable results (per cell: mean/p50/p99, scanned/q, out/q, DNF) to this file, e.g. BENCH_results.json; schema in EXPERIMENTS.md")
 	)
@@ -67,6 +68,7 @@ func main() {
 			TargetNodes: targets,
 			Workers:     *workers,
 			Rounds:      *rounds,
+			Shards:      *shards,
 		}
 		if *datasets != "" {
 			cfg.Datasets = strings.Split(*datasets, ",")
@@ -84,7 +86,7 @@ func main() {
 		if *jsonOut != "" {
 			f := &bench.ResultsFile{
 				Config: bench.ResultsConfig{
-					Seed: *seed, Workers: *workers, Rounds: *rounds, TargetNodes: targets,
+					Seed: *seed, Workers: *workers, Rounds: *rounds, Shards: *shards, TargetNodes: targets,
 				},
 				Throughput: bench.ThroughputResults(rows),
 			}

@@ -4,13 +4,24 @@
 //
 //	blossomd -addr :8080 -load bib.xml -load dblp.xml
 //	blossomd -addr 127.0.0.1:0 -gen d2:5000 -slow-query 250ms
+//	blossomd -gen d2:5000 -shards 4 -max-inflight 64 -tenant-qps 100
 //
 // Endpoints:
 //
 //	POST /query            {"query": "//book[price<50]/title", "timeout_ms": 1000}
+//	                       {"query": "//title", "all_documents": true}  (catalog-wide scatter)
 //	GET  /metrics          Prometheus text exposition (counters + latency histogram)
 //	GET  /trace/{queryID}  Chrome trace-event JSON of a recent query
 //	GET  /debug/pprof/*    standard Go profiling endpoints
+//
+// -shards N splits the catalog across N consistent-hash engine shards;
+// catalog-wide queries scatter across the shards under per-shard
+// governors and gather ordered results (a persistently failing shard
+// degrades the response instead of killing it — see the "degraded"
+// response field). -max-inflight and -tenant-qps enable admission
+// control: overloaded or over-quota requests are shed with HTTP 429 and
+// a Retry-After header, client-canceled requests map to 499, exhausted
+// budgets to 408.
 //
 // The daemon prints "blossomd listening on <host:port>" once the
 // listener is up (with the real port when -addr ends in :0), and shuts
@@ -35,6 +46,7 @@ import (
 
 	"blossomtree"
 	"blossomtree/internal/server"
+	"blossomtree/internal/shard"
 	"blossomtree/internal/xmlgen"
 )
 
@@ -54,6 +66,9 @@ func main() {
 		noIndex    = flag.Bool("no-indexes", false, "disable tag indexes (streaming configuration)")
 		seed       = flag.Int64("seed", 1, "generator seed for -gen datasets")
 		logJSON    = flag.Bool("log-json", false, "emit the query log as JSON instead of text")
+		shards     = flag.Int("shards", 0, "split the catalog across N consistent-hash engine shards (0 = unsharded)")
+		inflight   = flag.Int("max-inflight", 0, "admission control: cap concurrently evaluating queries, queueing up to 2N more (0 = off)")
+		tenantQPS  = flag.Float64("tenant-qps", 0, "admission control: per-tenant token-bucket rate, tenant = X-Tenant header (0 = off)")
 	)
 	flag.Var(&files, "load", "XML file to serve, registered under its basename as doc(\"…\") URI (repeatable)")
 	flag.Var(&gens, "gen", "synthetic dataset to serve, as id or id:nodes, e.g. d2:5000 (repeatable)")
@@ -74,7 +89,13 @@ func main() {
 	logger := slog.New(handler)
 
 	eng := blossomtree.NewEngine()
-	if *noIndex {
+	switch {
+	case *shards > 0:
+		eng = blossomtree.NewEngineSharded(*shards)
+		if *noIndex {
+			fatal(errors.New("-no-indexes is not supported with -shards"))
+		}
+	case *noIndex:
 		eng = blossomtree.NewEngineNoIndexes()
 	}
 	for _, f := range files {
@@ -102,11 +123,21 @@ func main() {
 		logger.Info("dataset generated", "uri", id, "target_nodes", nodes)
 	}
 
+	var adm *shard.Admission
+	if *inflight > 0 || *tenantQPS > 0 {
+		adm = shard.NewAdmission(shard.AdmissionConfig{
+			MaxInflight: *inflight,
+			TenantQPS:   *tenantQPS,
+		})
+		logger.Info("admission control enabled", "max_inflight", *inflight, "tenant_qps", *tenantQPS)
+	}
+
 	srv := server.New(server.Config{
 		Engine:             eng,
 		Logger:             logger,
 		SlowQueryThreshold: *slow,
 		MaxRequestTimeout:  *maxTimeout,
+		Admission:          adm,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"blossomtree/internal/exec"
 	"blossomtree/internal/gov"
 )
 
@@ -22,6 +23,11 @@ var (
 	// ErrBudgetExceeded reports that the query exceeded its Budget or
 	// its deadline.
 	ErrBudgetExceeded = gov.ErrBudgetExceeded
+	// ErrShed reports that admission control refused the query before
+	// evaluation began (the serving tier is overloaded or the tenant is
+	// over quota); the daemon maps it to HTTP 429 with a Retry-After
+	// hint.
+	ErrShed = gov.ErrShed
 )
 
 // Budget bounds one query evaluation. Zero values mean unlimited.
@@ -42,7 +48,8 @@ func (b Budget) toGov() gov.Budget {
 
 // Verdict classifies an evaluation outcome as the query log records
 // it: "ok" on success, "canceled" for context cancellation,
-// "budget_exceeded" for deadline/budget aborts, "error" otherwise.
+// "budget_exceeded" for deadline/budget aborts, "shed" for
+// admission-control refusals, "error" otherwise.
 func Verdict(err error) string { return gov.Verdict(err) }
 
 // AbortStats returns the partial EXPLAIN ANALYZE recorded up to a
@@ -75,7 +82,12 @@ func (e *Engine) QueryWithContext(ctx context.Context, src string, opts Options)
 		return nil, err
 	}
 	popts.Ctx = ctx
-	res, err := e.inner.EvalOptions(src, popts)
+	var res *exec.Result
+	if e.group != nil {
+		res, err = e.group.Eval(src, popts)
+	} else {
+		res, err = e.inner.EvalOptions(src, popts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +104,12 @@ func (e *Engine) QueryBatchContext(ctx context.Context, srcs []string, opts Opti
 		return nil, err
 	}
 	popts.Ctx = ctx
-	raw := e.inner.EvalBatch(srcs, popts, workers)
+	var raw []exec.BatchResult
+	if e.group != nil {
+		raw = e.group.EvalBatch(srcs, popts, workers)
+	} else {
+		raw = e.inner.EvalBatch(srcs, popts, workers)
+	}
 	out := make([]BatchResult, len(raw))
 	for i, r := range raw {
 		out[i] = BatchResult{Query: r.Query, Err: r.Err}
@@ -104,23 +121,25 @@ func (e *Engine) QueryBatchContext(ctx context.Context, srcs []string, opts Opti
 }
 
 // QueryAllDocumentsContext is QueryAllDocuments under a context shared
-// by every per-document evaluation.
+// by every per-document evaluation. On a sharded engine the fan-out
+// scatters across the shards (Options.Shards bounds the concurrency);
+// a shard lost after one retry degrades out of the result list — the
+// surviving documents are returned and the failed shards' documents
+// are omitted (use QueryAllGathered for the degradation record).
 func (e *Engine) QueryAllDocumentsContext(ctx context.Context, src string, opts Options, workers int) ([]DocumentResult, error) {
 	popts, err := opts.toPlan()
 	if err != nil {
 		return nil, err
 	}
 	popts.Ctx = ctx
-	raw, err := e.inner.EvalAllDocs(src, popts, workers)
+	var raw []exec.DocResult
+	if e.group != nil {
+		raw, _, err = e.group.EvalAllDocs(src, popts, opts.Shards, workers)
+	} else {
+		raw, err = e.inner.EvalAllDocs(src, popts, workers)
+	}
 	if err != nil {
 		return nil, err
 	}
-	out := make([]DocumentResult, len(raw))
-	for i, r := range raw {
-		out[i] = DocumentResult{URI: r.URI, Err: r.Err}
-		if r.Result != nil {
-			out[i].Result = newResult(r.Result)
-		}
-	}
-	return out, nil
+	return e.docResults(raw), nil
 }

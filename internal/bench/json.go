@@ -41,6 +41,7 @@ type ResultsConfig struct {
 	Repeats     int            `json:"repeats,omitempty"`
 	Workers     int            `json:"workers,omitempty"`
 	Rounds      int            `json:"rounds,omitempty"`
+	Shards      int            `json:"shards,omitempty"`
 	TargetNodes map[string]int `json:"target_nodes,omitempty"`
 }
 
@@ -91,6 +92,13 @@ type ThroughputResult struct {
 	Errors          int     `json:"errors"`
 	ScannedPerQuery float64 `json:"scanned_per_q"`
 	EmittedPerQuery float64 `json:"out_per_q"`
+	// Sharded scatter comparison, present when the run passed -shards:
+	// the same catalog-wide queries through the flat engine's fan-out
+	// versus a shard group's scatter-gather over Shards copies.
+	Shards       int     `json:"shards,omitempty"`
+	AllDocsQPS   float64 `json:"all_docs_qps,omitempty"`
+	ShardedQPS   float64 `json:"sharded_qps,omitempty"`
+	ShardSpeedup float64 `json:"shard_speedup,omitempty"`
 }
 
 // durationQuantile returns the q-quantile of the samples by
@@ -174,6 +182,10 @@ func ThroughputResults(rows []ThroughputRow) []ThroughputResult {
 			Errors:          r.Errors,
 			ScannedPerQuery: r.ScannedPerQuery,
 			EmittedPerQuery: r.EmittedPerQuery,
+			Shards:          r.Shards,
+			AllDocsQPS:      r.AllDocsQPS,
+			ShardedQPS:      r.ShardedQPS,
+			ShardSpeedup:    r.ShardSpeedup,
 		})
 	}
 	return out

@@ -9,6 +9,7 @@ import (
 	"blossomtree/internal/exec"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
+	"blossomtree/internal/shard"
 )
 
 // ThroughputConfig configures a serial-vs-parallel batch throughput
@@ -21,6 +22,12 @@ type ThroughputConfig struct {
 	Datasets    []string       // default: all five
 	Workers     int            // parallel worker count; <= 0 = GOMAXPROCS
 	Rounds      int            // suite repetitions per batch; <= 0 = 20
+	// Shards, when > 1, adds a scatter-gather comparison per dataset:
+	// Shards copies of the document are served once by a flat engine's
+	// catalog-wide fan-out and once through a shard group's scatter, and
+	// the two QPS figures are compared (the shard tier's routing,
+	// per-shard governors, and ordered merge are its overhead).
+	Shards int
 }
 
 // ThroughputRow is the serial-vs-parallel comparison for one dataset.
@@ -48,6 +55,14 @@ type ThroughputRow struct {
 	// read from the metrics registry delta around the batch.
 	ScannedPerQuery float64
 	EmittedPerQuery float64
+	// Sharded scatter comparison (zero unless ThroughputConfig.Shards
+	// > 1): the same catalog-wide queries through the flat engine's
+	// fan-out (AllDocsQPS) versus the shard group's scatter-gather
+	// (ShardedQPS); ShardSpeedup = ShardedQPS / AllDocsQPS.
+	Shards       int
+	AllDocsQPS   float64
+	ShardedQPS   float64
+	ShardSpeedup float64
 }
 
 // RunThroughput measures batch throughput per dataset. Each dataset's
@@ -163,6 +178,12 @@ func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow
 		if row.Parallel > 0 {
 			row.Speedup = row.Serial.Seconds() / row.Parallel.Seconds()
 		}
+
+		if cfg.Shards > 1 {
+			if err := measureSharded(&row, ds, suite, cfg.Shards, workers, progress); err != nil {
+				return nil, err
+			}
+		}
 		if progress != nil {
 			progress(fmt.Sprintf("  %s: compile cold %.4fs vs warm %.4fs (%.2f×), serial %.3fs (%.0f q/s), parallel[%d] %.3fs (%.0f q/s), speedup %.2f×, %.0f nodes scanned/query",
 				id, row.Cold.Seconds(), row.Warm.Seconds(), row.WarmSpeedup,
@@ -172,6 +193,61 @@ func RunThroughput(cfg ThroughputConfig, progress func(string)) ([]ThroughputRow
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// measureSharded times the scatter-gather comparison for one dataset:
+// n copies of its document served by a flat engine's catalog-wide
+// fan-out versus a shard group's scatter across n shards.
+func measureSharded(row *ThroughputRow, ds *Dataset, suite []Query, shards, workers int, progress func(string)) error {
+	row.Shards = shards
+	flat := exec.New()
+	grp := shard.New(shard.Config{Shards: shards, BuildIndexes: true})
+	for i := 0; i < shards; i++ {
+		uri := fmt.Sprintf("%s-copy-%d.xml", ds.ID, i)
+		flat.Add(uri, ds.Doc)
+		grp.Add(uri, ds.Doc)
+	}
+	opts := plan.Options{}
+	// Warm-up plus correctness guard: both paths must agree before the
+	// timed passes (one scatter per suite query).
+	for _, q := range suite {
+		if _, err := flat.EvalAllDocs(q.Text, opts, workers); err != nil {
+			return fmt.Errorf("bench: flat fan-out %s on %s: %w", q.ID, ds.ID, err)
+		}
+		if _, deg, err := grp.EvalAllDocs(q.Text, opts, 0, 1); err != nil || deg != nil {
+			return fmt.Errorf("bench: sharded scatter %s on %s: err=%v degraded=%v", q.ID, ds.ID, err, deg != nil)
+		}
+	}
+	const scatterRounds = 5
+	start := time.Now()
+	for r := 0; r < scatterRounds; r++ {
+		for _, q := range suite {
+			if _, err := flat.EvalAllDocs(q.Text, opts, workers); err != nil {
+				return err
+			}
+		}
+	}
+	flatD := time.Since(start)
+	start = time.Now()
+	for r := 0; r < scatterRounds; r++ {
+		for _, q := range suite {
+			if _, _, err := grp.EvalAllDocs(q.Text, opts, 0, 1); err != nil {
+				return err
+			}
+		}
+	}
+	shardD := time.Since(start)
+	n := scatterRounds * len(suite)
+	row.AllDocsQPS = qps(n, flatD)
+	row.ShardedQPS = qps(n, shardD)
+	if row.AllDocsQPS > 0 {
+		row.ShardSpeedup = row.ShardedQPS / row.AllDocsQPS
+	}
+	if progress != nil {
+		progress(fmt.Sprintf("  %s: %d-copy scatter — flat fan-out %.0f q/s vs %d-shard %.0f q/s (%.2f×)",
+			ds.ID, shards, row.AllDocsQPS, shards, row.ShardedQPS, row.ShardSpeedup))
+	}
+	return nil
 }
 
 func qps(n int, d time.Duration) float64 {
@@ -191,6 +267,23 @@ func FormatThroughput(rows []ThroughputRow) string {
 			r.Dataset, r.Queries, r.Workers, r.Cold.Seconds(), r.Warm.Seconds(), r.WarmSpeedup,
 			r.Serial.Seconds(), r.Parallel.Seconds(),
 			r.SerialQPS, r.ParallelQPS, r.Speedup, r.Errors, r.ScannedPerQuery, r.EmittedPerQuery)
+	}
+	sharded := false
+	for _, r := range rows {
+		if r.Shards > 0 {
+			sharded = true
+		}
+	}
+	if sharded {
+		fmt.Fprintf(&sb, "\n%-5s %7s %13s %13s %8s\n",
+			"file", "shards", "alldocs q/s", "sharded q/s", "speedup")
+		for _, r := range rows {
+			if r.Shards == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-5s %7d %13.0f %13.0f %7.2fx\n",
+				r.Dataset, r.Shards, r.AllDocsQPS, r.ShardedQPS, r.ShardSpeedup)
+		}
 	}
 	return sb.String()
 }

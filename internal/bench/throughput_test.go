@@ -12,6 +12,7 @@ func TestRunThroughput(t *testing.T) {
 		Datasets:    []string{"d2"},
 		Workers:     4,
 		Rounds:      2,
+		Shards:      2,
 	}
 	rows, err := RunThroughput(cfg, nil)
 	if err != nil {
@@ -33,8 +34,11 @@ func TestRunThroughput(t *testing.T) {
 	if r.SerialQPS <= 0 || r.ParallelQPS <= 0 || r.Speedup <= 0 {
 		t.Errorf("throughput not measured: %+v", r)
 	}
+	if r.Shards != 2 || r.AllDocsQPS <= 0 || r.ShardedQPS <= 0 || r.ShardSpeedup <= 0 {
+		t.Errorf("sharded scatter not measured: %+v", r)
+	}
 	out := FormatThroughput(rows)
-	for _, frag := range []string{"d2", "speedup", "workers"} {
+	for _, frag := range []string{"d2", "speedup", "workers", "shards", "sharded q/s"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("FormatThroughput missing %q:\n%s", frag, out)
 		}

@@ -202,6 +202,24 @@ type Result struct {
 	// (empty for planned runs and for an explicitly requested XH
 	// strategy).
 	NavReason string
+	// Degraded is non-nil when this result came from a scatter-gather
+	// whose fan-out lost one or more shards after retry: the result is a
+	// correct but partial view covering only the surviving shards.
+	Degraded *DegradedInfo
+}
+
+// DegradedInfo describes a partial scatter-gather result.
+type DegradedInfo struct {
+	// FailedShards lists the shard indexes whose sub-queries failed even
+	// after the retry, in ascending order.
+	FailedShards []int
+	// Errors holds one message per failed shard, aligned with
+	// FailedShards.
+	Errors []string
+	// Stats is a synthetic gather-level stats tree: one child per shard
+	// attempt, including the partial abort stats of the shards that
+	// failed (what they had scanned before dying).
+	Stats *obs.OpStats
 }
 
 // FallbackExplain renders the EXPLAIN form of a navigational-fallback
@@ -235,6 +253,19 @@ func (e *Engine) EvalOptions(src string, opts plan.Options) (*Result, error) {
 // EvalExpr evaluates a parsed query.
 func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
 	return evalExpr(e.snapshot(), expr, opts, "")
+}
+
+// EvalDocOptions evaluates src against the single registered document
+// uri, pinning resolution so every doc("…") reference and absolute path
+// resolves to that document — the routing entry point of the shard
+// tier, which must preserve the unsharded engine's resolution semantics
+// even when a shard's local catalog has a different first document.
+func (e *Engine) EvalDocOptions(uri, src string, opts plan.Options) (*Result, error) {
+	snap := e.snapshot()
+	if _, ok := snap.docs[uri]; !ok {
+		return nil, fmt.Errorf("exec: no document registered for %q", uri)
+	}
+	return evalSource(snap.pin(uri), src, opts)
 }
 
 // evalExpr evaluates a parsed query against one immutable snapshot, so
@@ -412,7 +443,22 @@ func (e *Engine) Explain(src string) (string, error) {
 // ExplainOptions is Explain with planner control (forced strategy,
 // parallelism, …).
 func (e *Engine) ExplainOptions(src string, opts plan.Options) (string, error) {
-	pl, err := e.buildPlan(src, opts)
+	return explainSnapshot(e.snapshot(), src, opts)
+}
+
+// ExplainDocOptions is ExplainOptions with resolution pinned to the
+// registered document uri (the shard tier's explain routing).
+func (e *Engine) ExplainDocOptions(uri, src string, opts plan.Options) (string, error) {
+	snap := e.snapshot()
+	if _, ok := snap.docs[uri]; !ok {
+		return "", fmt.Errorf("exec: no document registered for %q", uri)
+	}
+	return explainSnapshot(snap.pin(uri), src, opts)
+}
+
+// explainSnapshot renders EXPLAIN against a fixed snapshot.
+func explainSnapshot(s *snapshot, src string, opts plan.Options) (string, error) {
+	pl, err := buildPlan(s, src, opts)
 	if err != nil {
 		if errors.Is(err, core.ErrOutsideFragment) {
 			return navExplain(err), nil
@@ -436,14 +482,30 @@ func (e *Engine) ExplainAnalyze(src string) (string, error) {
 
 // ExplainAnalyzeOptions is ExplainAnalyze with planner control.
 func (e *Engine) ExplainAnalyzeOptions(src string, opts plan.Options) (string, error) {
+	return explainAnalyzeSnapshot(e.snapshot(), src, opts)
+}
+
+// ExplainAnalyzeDocOptions is ExplainAnalyzeOptions with resolution
+// pinned to the registered document uri.
+func (e *Engine) ExplainAnalyzeDocOptions(uri, src string, opts plan.Options) (string, error) {
+	snap := e.snapshot()
+	if _, ok := snap.docs[uri]; !ok {
+		return "", fmt.Errorf("exec: no document registered for %q", uri)
+	}
+	return explainAnalyzeSnapshot(snap.pin(uri), src, opts)
+}
+
+// explainAnalyzeSnapshot renders EXPLAIN ANALYZE against a fixed
+// snapshot.
+func explainAnalyzeSnapshot(s *snapshot, src string, opts plan.Options) (string, error) {
 	opts.Analyze = true
-	pl, err := e.buildPlan(src, opts)
+	pl, err := buildPlan(s, src, opts)
 	if err != nil {
 		if errors.Is(err, core.ErrOutsideFragment) {
 			// The fallback has no operator tree to instrument; run the
 			// query navigationally (metered by evalExpr's telemetry like
 			// any other evaluation) and report the row count.
-			res, rerr := evalSource(e.snapshot(), src, opts)
+			res, rerr := evalSource(s, src, opts)
 			if rerr != nil {
 				return "", rerr
 			}
@@ -484,9 +546,9 @@ func recordPlanMetrics(pl *plan.Plan) {
 	obs.Default.Add(obs.MetricOperatorCalls, st.TotalCalls())
 }
 
-// buildPlan compiles src against the current snapshot without running
-// it, filling the snapshot's index and statistics into opts.
-func (e *Engine) buildPlan(src string, opts plan.Options) (*plan.Plan, error) {
+// buildPlan compiles src against a fixed snapshot without running it,
+// filling the snapshot's index and statistics into opts.
+func buildPlan(s *snapshot, src string, opts plan.Options) (*plan.Plan, error) {
 	expr, err := flwor.Parse(src)
 	if err != nil {
 		return nil, err
@@ -495,7 +557,7 @@ func (e *Engine) buildPlan(src string, opts plan.Options) (*plan.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	doc, ix, stats, err := e.snapshot().planContext(q)
+	doc, ix, stats, err := s.planContext(q)
 	if err != nil {
 		return nil, err
 	}

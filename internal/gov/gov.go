@@ -44,6 +44,10 @@ var (
 	// ErrBudgetExceeded reports that the query ran past a resource
 	// budget: its deadline, its node-scan bound, or its result bound.
 	ErrBudgetExceeded = errors.New("query resource budget exceeded")
+	// ErrShed reports that admission control refused the query before
+	// evaluation began — the server is overloaded or the tenant is over
+	// quota. Shed errors never carry partial stats: nothing ran.
+	ErrShed = errors.New("query shed by admission control")
 )
 
 // Budget bounds one query evaluation. Zero values mean unlimited.
@@ -300,11 +304,14 @@ func (g *Governor) Outputs() int64 {
 
 // Verdict classifies an evaluation outcome for the structured query
 // log: "ok" on success, "canceled" / "budget_exceeded" for governed
-// aborts, "error" for everything else.
+// aborts, "shed" for admission-control refusals, "error" for
+// everything else.
 func Verdict(err error) string {
 	switch {
 	case err == nil:
 		return "ok"
+	case errors.Is(err, ErrShed):
+		return "shed"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
 	case errors.Is(err, ErrBudgetExceeded):

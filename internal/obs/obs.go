@@ -187,6 +187,16 @@ const (
 	MetricPlanCacheHits      = "plan_cache_hits"
 	MetricPlanCacheMisses    = "plan_cache_misses"
 	MetricPlanCacheEvictions = "plan_cache_evictions"
+	// Shard-tier counters (internal/shard). Sheds are admission-control
+	// refusals (429 at the HTTP edge); retries count shard sub-queries
+	// re-dispatched after a first failure; failures count shard attempts
+	// that failed (including the ones a retry later recovered); degraded
+	// counts gathers that returned a partial result.
+	MetricQueriesShed   = "queries_shed_total"
+	MetricShardQueries  = "shard_queries_total"
+	MetricShardRetries  = "shard_retries_total"
+	MetricShardFailures = "shard_failures_total"
+	MetricShardDegraded = "shard_degraded_total"
 )
 
 // HistQueryDuration is the registry name of the query-latency histogram

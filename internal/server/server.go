@@ -13,12 +13,16 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"blossomtree"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/shard"
 )
 
 // Config configures a Server.
@@ -37,6 +41,11 @@ type Config struct {
 	// for (and is the default when the request sets none); <= 0 means
 	// no cap is applied.
 	MaxRequestTimeout time.Duration
+	// Admission gates POST /query with per-tenant token buckets and a
+	// weighted-fair inflight queue (tenant = X-Tenant header, "default"
+	// when absent). A shed request answers 429 with a Retry-After hint
+	// and a "shed" verdict in the query log. Nil admits everything.
+	Admission *shard.Admission
 }
 
 // Server handles the daemon's HTTP API.
@@ -84,6 +93,19 @@ type QueryRequest struct {
 	// Explain includes the executed plan's EXPLAIN ANALYZE tree in the
 	// response.
 	Explain bool `json:"explain,omitempty"`
+	// AllDocuments evaluates the query against every loaded document and
+	// gathers the per-document results into one ordered response (the
+	// scatter-gather path on a sharded daemon). A shard lost after its
+	// retry degrades the response instead of failing it — see Degraded.
+	AllDocuments bool `json:"all_documents,omitempty"`
+}
+
+// DegradedInfo reports a partial scatter-gather response: which shards
+// failed (after the retry) and why. Present only when AllDocuments ran
+// on a sharded daemon and at least one shard was lost.
+type DegradedInfo struct {
+	FailedShards []int    `json:"failed_shards"`
+	Errors       []string `json:"errors"`
 }
 
 // QueryResponse is the POST /query reply.
@@ -103,7 +125,17 @@ type QueryResponse struct {
 	TraceURL  string              `json:"trace_url"`
 	Error     string              `json:"error,omitempty"`
 	Verdict   string              `json:"verdict"`
+	// Degraded marks a partial scatter-gather result (some shards lost
+	// after their retry); nil/absent for complete results.
+	Degraded *DegradedInfo `json:"degraded,omitempty"`
+	// RetryAfterMS echoes the Retry-After hint of a shed (429) response
+	// in milliseconds, for clients that prefer the body to the header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
+
+// statusClientClosedRequest is the de-facto (nginx) status for requests
+// aborted by the client; Go's net/http has no constant for it.
+const statusClientClosedRequest = 499
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
@@ -124,6 +156,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The ID is generated before evaluation so failed queries stay
 	// attributable in the log and the response.
 	qid := blossomtree.NewQueryID()
+
+	// Admission control runs after decode (so sheds are attributable to
+	// a query hash in the log) and before any evaluation work.
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	admitStart := time.Now()
+	release, admErr := s.cfg.Admission.Admit(r.Context(), tenant)
+	if admErr != nil {
+		s.writeAdmissionError(w, r, qid, req.Query, admErr, time.Since(admitStart))
+		return
+	}
+	defer release()
+
 	opts := blossomtree.Options{
 		Strategy: blossomtree.Strategy(req.Strategy),
 		Analyze:  req.Analyze,
@@ -138,7 +185,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := s.cfg.Engine.QueryWithContext(r.Context(), req.Query, opts)
+	var res *blossomtree.Result
+	var err error
+	if req.AllDocuments {
+		res, err = s.cfg.Engine.QueryAllGatheredContext(r.Context(), req.Query, opts, 0)
+	} else {
+		res, err = s.cfg.Engine.QueryWithContext(r.Context(), req.Query, opts)
+	}
 	resp := QueryResponse{
 		QueryID:   qid,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
@@ -147,19 +200,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		resp.Error = err.Error()
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, blossomtree.ErrBudgetExceeded) || errors.Is(err, blossomtree.ErrCanceled) {
-			status = http.StatusRequestTimeout
-		}
-		writeJSON(w, status, resp)
+		writeJSON(w, errorStatus(w, r, err), resp)
 		return
 	}
-	if pl := res.Plan(); pl != "" {
-		// Plan() renders the whole decomposition; only its
-		// "plan strategy: …" headline belongs in the response.
-		resp.Strategy = strings.TrimPrefix(firstLine(pl), "plan strategy: ")
-	} else {
-		resp.Strategy = "XH" // navigational evaluation has no plan
+	switch {
+	case req.AllDocuments:
+		resp.Strategy = "scatter" // merged view has no single plan
+	default:
+		if pl := res.Plan(); pl != "" {
+			// Plan() renders the whole decomposition; only its
+			// "plan strategy: …" headline belongs in the response.
+			resp.Strategy = strings.TrimPrefix(firstLine(pl), "plan strategy: ")
+		} else {
+			resp.Strategy = "XH" // navigational evaluation has no plan
+		}
+	}
+	if d := res.Degraded(); d != nil {
+		resp.Degraded = &DegradedInfo{FailedShards: d.FailedShards, Errors: d.Errors}
 	}
 	resp.Cached = res.Cached()
 	resp.Count = res.Len()
@@ -182,6 +239,67 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Explain = res.ExplainAnalyze()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorStatus maps an evaluation error to its HTTP status, setting the
+// Retry-After header for sheds. The distinctions a load balancer cares
+// about: 429 = shed before evaluation (retry elsewhere / later), 499 =
+// the client went away (not a server fault), 408 = the server aborted
+// the query on its budget or deadline, 422 = the query itself is bad.
+func errorStatus(w http.ResponseWriter, r *http.Request, err error) int {
+	var sh *shard.ShedError
+	switch {
+	case errors.As(err, &sh):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(sh)))
+		return http.StatusTooManyRequests
+	case errors.Is(err, blossomtree.ErrShed):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests
+	case errors.Is(err, blossomtree.ErrCanceled) && r.Context().Err() != nil:
+		// The client disconnected or canceled; nobody is reading the
+		// response, but the status keeps access logs honest.
+		return statusClientClosedRequest
+	case errors.Is(err, blossomtree.ErrCanceled), errors.Is(err, blossomtree.ErrBudgetExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// retryAfterSeconds renders a shed's hint as whole seconds, ≥ 1.
+func retryAfterSeconds(sh *shard.ShedError) int {
+	secs := int(math.Ceil(sh.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// writeAdmissionError answers a request refused before evaluation and
+// records it in the structured query log (verdict "shed" or "canceled"),
+// so shed traffic is visible alongside evaluated traffic.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, r *http.Request, qid, query string, err error, waited time.Duration) {
+	resp := QueryResponse{
+		QueryID:   qid,
+		ElapsedMS: float64(waited.Microseconds()) / 1000,
+		TraceURL:  "/trace/" + qid,
+		Verdict:   blossomtree.Verdict(err),
+		Error:     err.Error(),
+	}
+	var sh *shard.ShedError
+	if errors.As(err, &sh) {
+		resp.RetryAfterMS = sh.RetryAfter.Milliseconds()
+	}
+	status := errorStatus(w, r, err)
+	ql := &obs.QueryLog{Logger: s.cfg.Logger}
+	ql.Record(obs.QueryLogEntry{
+		QueryID:   qid,
+		QueryHash: obs.QueryHash(query),
+		Verdict:   resp.Verdict,
+		Latency:   waited,
+		Err:       err.Error(),
+	})
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"blossomtree"
+	"blossomtree/internal/fault"
+	"blossomtree/internal/shard"
 )
 
 const bib = `<bib>
@@ -123,7 +126,139 @@ func TestQueryEndpointErrors(t *testing.T) {
 	}
 }
 
-// TestQueryEndpointWarmCache: the second identical POST /query is
+// TestQueryEndpointShed: a tenant over its quota is refused with 429, a
+// Retry-After hint in both header and body, and a "shed" verdict.
+func TestQueryEndpointShed(t *testing.T) {
+	e := blossomtree.NewEngine()
+	if err := e.LoadString("bib.xml", bib); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{
+		Engine:    e,
+		Admission: shard.NewAdmission(shard.AdmissionConfig{TenantQPS: 0.001, TenantBurst: 1}),
+	}))
+	defer ts.Close()
+
+	// First query spends the tenant's only token; the second sheds.
+	if status, res := postQuery(t, ts, QueryRequest{Query: `//book/title`}); status != http.StatusOK {
+		t.Fatalf("first query status = %d, body %+v", status, res)
+	}
+	body, _ := json.Marshal(QueryRequest{Query: `//book/title`})
+	httpRes, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query status = %d, want 429", httpRes.StatusCode)
+	}
+	if ra := httpRes.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive whole-second hint", ra)
+	}
+	var res QueryResponse
+	if err := json.NewDecoder(httpRes.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "shed" || res.Error == "" || res.RetryAfterMS <= 0 {
+		t.Errorf("shed response = %+v", res)
+	}
+	if res.QueryID == "" {
+		t.Error("shed query should still carry a query ID")
+	}
+}
+
+// TestQueryEndpointInjectedShed: a deterministic shard.admission fault
+// sheds exactly the k-th admission decision.
+func TestQueryEndpointInjectedShed(t *testing.T) {
+	e := blossomtree.NewEngine()
+	if err := e.LoadString("bib.xml", bib); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New().FailAt(fault.SiteShardAdmission, 2, nil)
+	ts := httptest.NewServer(New(Config{
+		Engine:    e,
+		Admission: shard.NewAdmission(shard.AdmissionConfig{Fault: inj}),
+	}))
+	defer ts.Close()
+
+	if status, _ := postQuery(t, ts, QueryRequest{Query: `//book/title`}); status != http.StatusOK {
+		t.Fatalf("first query status = %d, want 200", status)
+	}
+	status, res := postQuery(t, ts, QueryRequest{Query: `//book/title`})
+	if status != http.StatusTooManyRequests || res.Verdict != "shed" {
+		t.Errorf("injected shed: status = %d, %+v", status, res)
+	}
+	if status, _ := postQuery(t, ts, QueryRequest{Query: `//book/title`}); status != http.StatusOK {
+		t.Errorf("third query status = %d, want 200 (fault fires once)", status)
+	}
+}
+
+// TestQueryEndpointClientCanceled: a request whose own context is gone
+// answers 499 (client closed request), distinct from the 408 budget
+// abort — load balancers must not count client disconnects as server
+// timeouts.
+func TestQueryEndpointClientCanceled(t *testing.T) {
+	e := blossomtree.NewEngine()
+	if err := e.LoadString("bib.xml", bib); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Engine: e})
+	body, _ := json.Marshal(QueryRequest{Query: `//book/title`})
+	req := httptest.NewRequest("POST", "/query", bytes.NewReader(body))
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("canceled request status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	var res QueryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "canceled" || res.Error == "" {
+		t.Errorf("canceled response = %+v", res)
+	}
+}
+
+// TestQueryEndpointAllDocuments: the scatter-gather form returns the
+// merged per-document results of a sharded daemon in URI order.
+func TestQueryEndpointAllDocuments(t *testing.T) {
+	e := blossomtree.NewEngineSharded(3)
+	for uri, doc := range map[string]string{
+		"a.xml": `<bib><book><title>A</title><price>10</price></book></bib>`,
+		"b.xml": `<bib><book><title>B</title><price>20</price></book></bib>`,
+		"c.xml": `<bib><book><title>C</title><price>30</price></book></bib>`,
+	} {
+		if err := e.LoadString(uri, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(Config{Engine: e}))
+	defer ts.Close()
+
+	status, res := postQuery(t, ts, QueryRequest{Query: `//book/title`, AllDocuments: true})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %+v", status, res)
+	}
+	if res.Count != 3 || len(res.Nodes) != 3 {
+		t.Fatalf("count = %d, nodes = %v, want 3 titles", res.Count, res.Nodes)
+	}
+	// URI-ordered gather: a.xml, b.xml, c.xml.
+	for i, want := range []string{"<title>A</title>", "<title>B</title>", "<title>C</title>"} {
+		if res.Nodes[i] != want {
+			t.Errorf("nodes[%d] = %q, want %q", i, res.Nodes[i], want)
+		}
+	}
+	if res.Degraded != nil {
+		t.Errorf("healthy gather reported degraded: %+v", res.Degraded)
+	}
+	if res.Strategy != "scatter" {
+		t.Errorf("strategy = %q, want scatter", res.Strategy)
+	}
+}
+
 // served from the plan cache and says so in its response.
 func TestQueryEndpointWarmCache(t *testing.T) {
 	ts := newTestServer(t)

@@ -1,0 +1,73 @@
+// Package shard is the scatter-gather serving tier: a consistent-hash
+// router assigns documents to N in-process engine shards, catalog-wide
+// queries scatter across the shards under per-shard governors derived
+// from the request budget, and per-shard results gather through an
+// ordered merge into one result. Robustness is the point of the tier:
+// a failed shard is retried once with jittered backoff and then
+// degraded out of the gather (Result.Degraded) instead of failing the
+// request, and an Admission controller in front of the HTTP handler
+// sheds excess load per tenant (token bucket + weighted-fair queue)
+// with Retry-After hints.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerShard is the number of virtual ring points per shard. 64
+// points keep the document split within a few percent of even for
+// realistic catalog sizes while the ring stays small enough to rebuild
+// instantly.
+const vnodesPerShard = 64
+
+// ring is a consistent-hash ring over shard indexes. It is immutable
+// after construction: membership is fixed at group creation (in-process
+// shards don't come and go), so lookups are lock-free.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// newRing builds a ring with vnodesPerShard points per shard.
+func newRing(shards int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*vnodesPerShard)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashString(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// shardOf maps a document URI to its owning shard: the first ring point
+// clockwise from the URI's hash.
+func (r *ring) shardOf(uri string) int {
+	h := hashString(uri)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hashString is FNV-1a, the stdlib's dependency-free stable hash.
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: the same URI always lands on the same shard,
+// and the assignment is a pure function of the shard count.
+func TestRingDeterministic(t *testing.T) {
+	r1 := newRing(4)
+	r2 := newRing(4)
+	for i := 0; i < 200; i++ {
+		uri := fmt.Sprintf("doc-%d.xml", i)
+		a, b := r1.shardOf(uri), r2.shardOf(uri)
+		if a != b {
+			t.Fatalf("shardOf(%q) = %d vs %d across identical rings", uri, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("shardOf(%q) = %d out of range", uri, a)
+		}
+	}
+}
+
+// TestRingDistribution: with enough vnodes per shard, hashing many URIs
+// spreads them over every shard without a pathological skew.
+func TestRingDistribution(t *testing.T) {
+	const shards, uris = 4, 1000
+	r := newRing(shards)
+	counts := make([]int, shards)
+	for i := 0; i < uris; i++ {
+		counts[r.shardOf(fmt.Sprintf("doc-%d.xml", i))]++
+	}
+	for si, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no documents: %v", si, counts)
+		}
+		// 64 vnodes/shard keeps the spread well inside 3x of fair share.
+		if c > 3*uris/shards {
+			t.Errorf("shard %d holds %d of %d URIs (skew): %v", si, c, uris, counts)
+		}
+	}
+}
+
+// TestRingStability: growing the ring moves only a fraction of the
+// URIs — the consistent-hashing property that makes resharding cheap.
+func TestRingStability(t *testing.T) {
+	const uris = 1000
+	r4, r5 := newRing(4), newRing(5)
+	moved := 0
+	for i := 0; i < uris; i++ {
+		uri := fmt.Sprintf("doc-%d.xml", i)
+		if r4.shardOf(uri) != r5.shardOf(uri) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 of keys; allow generous slack but catch a rehash-the-world
+	// implementation (which would move ~4/5 of them).
+	if moved > uris/2 {
+		t.Errorf("growing 4→5 shards moved %d/%d URIs; consistent hashing should move ~%d", moved, uris, uris/5)
+	}
+}
+
+// TestRingSingleShard: a one-shard ring routes everything to shard 0.
+func TestRingSingleShard(t *testing.T) {
+	r := newRing(1)
+	for i := 0; i < 50; i++ {
+		if si := r.shardOf(fmt.Sprintf("u%d", i)); si != 0 {
+			t.Fatalf("single-shard ring routed to %d", si)
+		}
+	}
+}

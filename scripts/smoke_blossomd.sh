@@ -126,4 +126,82 @@ if [ "$status" -ne 0 ]; then
     exit 1
 fi
 echo "smoke: clean shutdown"
+
+# --- Overload behavior: a second daemon with admission control. -------
+# One token per ~17 minutes (-tenant-qps 0.001 yields burst 1), so the
+# first query is admitted and the second deterministically sheds with
+# 429 + Retry-After, and the shed counter appears in /metrics.
+out2="$workdir/stdout2"
+log2="$workdir/stderr2"
+"$bin" -addr 127.0.0.1:0 -gen d2:2000 -shards 2 -max-inflight 4 -tenant-qps 0.001 >"$out2" 2>"$log2" &
+pid=$!
+addr=
+for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: admission daemon died during startup" >&2
+        cat "$log2" >&2
+        exit 1
+    fi
+    addr=$(sed -n 's/^blossomd listening on //p' "$out2")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: admission daemon never announced its address" >&2; exit 1; }
+echo "smoke: admission daemon up at $addr (tenant-qps 0.001)"
+
+resp=$(curl -sS -X POST "http://$addr/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "//addresses//street_address"}')
+case $resp in
+*'"verdict":"ok"'*) ;;
+*)
+    echo "smoke: first admitted query did not succeed: $resp" >&2
+    exit 1
+    ;;
+esac
+
+# Second query in the same bucket window: must shed with 429 and a
+# Retry-After header.
+headers="$workdir/shed_headers"
+resp=$(curl -sS -D "$headers" -X POST "http://$addr/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "//addresses//street_address"}')
+grep -q '^HTTP/[0-9.]* 429' "$headers" || {
+    echo "smoke: over-quota query not answered 429:" >&2
+    cat "$headers" >&2
+    echo "$resp" >&2
+    exit 1
+}
+retry_after=$(sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9]*\).*/\1/p' "$headers")
+if [ -z "$retry_after" ] || [ "$retry_after" -lt 1 ]; then
+    echo "smoke: 429 without a positive Retry-After header:" >&2
+    cat "$headers" >&2
+    exit 1
+fi
+case $resp in
+*'"verdict":"shed"'*) ;;
+*)
+    echo "smoke: shed response verdict is not \"shed\": $resp" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: overload shed OK (429, Retry-After: ${retry_after}s)"
+
+shed=$(curl -sS "http://$addr/metrics" | sed -n 's/^blossomtree_queries_shed_total //p')
+if [ -z "$shed" ] || [ "$shed" -lt 1 ]; then
+    echo "smoke: queries_shed_total missing or zero after a shed" >&2
+    exit 1
+fi
+echo "smoke: shed counter OK (queries_shed_total=$shed)"
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "smoke: admission daemon exited $status on SIGTERM" >&2
+    cat "$log2" >&2
+    exit 1
+fi
+echo "smoke: clean shutdown (admission daemon)"
 echo "smoke: PASS"

@@ -1,0 +1,185 @@
+package blossomtree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardedFixture loads the same catalog into a sharded and an unsharded
+// engine.
+func shardedFixture(t *testing.T, shards int) (sharded, plain *Engine, uris []string) {
+	t.Helper()
+	sharded = NewEngineSharded(shards)
+	plain = NewEngine()
+	for i := 0; i < 8; i++ {
+		uri := fmt.Sprintf("doc-%d.xml", i)
+		var sb strings.Builder
+		sb.WriteString("<bib>")
+		for b := 0; b < i%3+2; b++ {
+			fmt.Fprintf(&sb, `<book year="%d"><title>T%d-%d</title><price>%d</price></book>`,
+				1990+i, i, b, 10*(b+1)+i)
+		}
+		sb.WriteString("</bib>")
+		for _, e := range []*Engine{sharded, plain} {
+			if err := e.LoadString(uri, sb.String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		uris = append(uris, uri)
+	}
+	return sharded, plain, uris
+}
+
+func TestShardedEngineBasics(t *testing.T) {
+	sharded, plain, uris := shardedFixture(t, 3)
+	if !sharded.Sharded() || plain.Sharded() {
+		t.Error("Sharded() flags wrong")
+	}
+	if sharded.ShardCount() != 3 || plain.ShardCount() != 1 {
+		t.Errorf("ShardCount = %d/%d, want 3/1", sharded.ShardCount(), plain.ShardCount())
+	}
+	for _, uri := range uris {
+		si, ok := sharded.DocumentShard(uri)
+		if !ok || si < 0 || si >= 3 {
+			t.Errorf("DocumentShard(%q) = %d,%v", uri, si, ok)
+		}
+	}
+	if _, ok := sharded.DocumentShard("missing.xml"); ok {
+		t.Error("DocumentShard found an unregistered URI")
+	}
+}
+
+// TestShardedQueryMatchesUnsharded: routed single-document queries give
+// identical results on both engines.
+func TestShardedQueryMatchesUnsharded(t *testing.T) {
+	sharded, plain, uris := shardedFixture(t, 3)
+	for _, uri := range uris {
+		q := fmt.Sprintf(`for $b in doc(%q)//book where $b/price > 15 order by $b/title return $b/title`, uri)
+		want, err := plain.Query(q)
+		if err != nil {
+			t.Fatalf("unsharded %s: %v", uri, err)
+		}
+		got, err := sharded.Query(q)
+		if err != nil {
+			t.Fatalf("sharded %s: %v", uri, err)
+		}
+		if want.XML() != got.XML() || want.Len() != got.Len() {
+			t.Errorf("%s: sharded %q != unsharded %q", uri, got.XML(), want.XML())
+		}
+	}
+}
+
+// TestShardedQueryAllDocuments: the fan-out form returns every document
+// with its owning shard annotated, identical to the unsharded fan-out.
+func TestShardedQueryAllDocuments(t *testing.T) {
+	sharded, plain, uris := shardedFixture(t, 4)
+	want, err := plain.QueryAllDocuments(`//book[price<30]/title`, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.QueryAllDocuments(`//book[price<30]/title`, Options{Shards: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(uris) || len(got) != len(want) {
+		t.Fatalf("docs = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].URI != want[i].URI {
+			t.Fatalf("doc %d: URI %q vs %q", i, got[i].URI, want[i].URI)
+		}
+		if got[i].Result.XML() != want[i].Result.XML() {
+			t.Errorf("%s: results diverge", got[i].URI)
+		}
+		if si, _ := sharded.DocumentShard(got[i].URI); got[i].Shard != si {
+			t.Errorf("%s: Shard = %d, want %d", got[i].URI, got[i].Shard, si)
+		}
+	}
+}
+
+// TestShardedQueryAllGathered: the merged gather equals the unsharded
+// merged gather, and a healthy run reports no degradation.
+func TestShardedQueryAllGathered(t *testing.T) {
+	sharded, plain, _ := shardedFixture(t, 3)
+	want, err := plain.QueryAllGathered(`//book[price<30]/title`, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.QueryAllGathered(`//book[price<30]/title`, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.XML() != got.XML() || want.Len() != got.Len() {
+		t.Errorf("gathered results diverge:\nsharded:   %s\nunsharded: %s", got.XML(), want.XML())
+	}
+	if got.Degraded() != nil {
+		t.Errorf("healthy gather degraded: %+v", got.Degraded())
+	}
+}
+
+// TestShardedPrepared: prepared statements route through the shard
+// group and keep working across re-runs.
+func TestShardedPrepared(t *testing.T) {
+	sharded, plain, _ := shardedFixture(t, 3)
+	q := `doc("doc-2.xml")//book[price<40]/title`
+	p, err := sharded.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := p.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got.XML() != want.XML() {
+			t.Errorf("run %d diverges from unsharded", i)
+		}
+	}
+	if _, err := sharded.Prepare(`//book[`); err == nil {
+		t.Error("Prepare accepted a bad query on the sharded path")
+	}
+}
+
+// TestShardedBatchAndExplain: batches route per query; EXPLAIN renders
+// the owning shard's plan.
+func TestShardedBatchAndExplain(t *testing.T) {
+	sharded, plain, _ := shardedFixture(t, 3)
+	srcs := []string{
+		`doc("doc-0.xml")//book/title`,
+		`doc("doc-5.xml")//book[price>20]`,
+		`//book[`, // parse error stays per-query
+	}
+	got, err := sharded.QueryBatch(srcs, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.QueryBatch(srcs, Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if (want[i].Err == nil) != (got[i].Err == nil) {
+			t.Fatalf("batch %d: err %v vs %v", i, got[i].Err, want[i].Err)
+		}
+		if want[i].Err == nil && want[i].Result.XML() != got[i].Result.XML() {
+			t.Errorf("batch %d diverges", i)
+		}
+	}
+
+	we, err := plain.Explain(`doc("doc-1.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := sharded.Explain(`doc("doc-1.xml")//book/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we != ge {
+		t.Errorf("sharded explain diverges:\n%s\nvs\n%s", ge, we)
+	}
+}
