@@ -8,6 +8,9 @@
 #   make chaos   — shard-tier chaos suite: deterministic scatter/gather/
 #                  admission faults under -race (retry, degrade, shed)
 #   make smoke   — boot blossomd, query it over HTTP, scrape /metrics
+#   make feedback — feedback-driven planning suite: store invariants,
+#                  divergence→replan→win regression, static-vs-feedback
+#                  comparison (asserts wins ≥ losses)
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
 #   make fuzz    — parser fuzz smoke (FUZZTIME per target, default 30s)
@@ -22,7 +25,7 @@ FUZZTIME ?= 30s
 PROPSEED ?= 0xB10550
 PROPCASES ?= 2500
 
-.PHONY: build test vet race check stress chaos smoke bench qps fuzz proptest
+.PHONY: build test vet race check stress chaos smoke bench qps fuzz proptest feedback
 
 build:
 	$(GO) build ./...
@@ -40,7 +43,7 @@ race:
 # full suite under the race detector, which exercises the concurrent
 # Add+Eval stress tests against the snapshot engine, plus the
 # cancellation stress pass.
-check: vet race stress chaos smoke proptest
+check: vet race stress chaos smoke proptest feedback
 
 # Property-based differential harness: PROPCASES random documents, four
 # random queries each, every join strategy ± parallel ± warm plan cache
@@ -58,7 +61,7 @@ proptest:
 # draining are exercised across interleavings.
 stress:
 	$(GO) test -race -timeout 120s -count=3 \
-		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits|PreparedRace|PlanCache|Vectorized' \
+		-run 'MidFlight|PreCanceled|PanicRecovery|Canceled|Budget|Fault|FailAt|PanicAt|Injector|Hits|PreparedRace|PlanCache|Vectorized|Feedback' \
 		./internal/exec ./internal/plan ./internal/join ./internal/gov ./internal/fault ./internal/vexec .
 
 # Shard-tier chaos: deterministic fault injection at the scatter,
@@ -76,6 +79,16 @@ chaos:
 # query's /trace is retrievable, then require a clean SIGTERM exit.
 smoke:
 	sh scripts/smoke_blossomd.sh
+
+# Feedback-driven planning: the estimate→actual store's unit
+# invariants, the end-to-end divergence → replan → win regression
+# (EXPLAIN shows the replan, strategy flips from the cold plan), and
+# the static-vs-feedback harness, which asserts feedback wins ≥ losses
+# on the pinned skewed corpus.
+feedback:
+	$(GO) test -race -timeout 120s ./internal/feedback
+	$(GO) test -race -timeout 120s -count=1 -run 'Feedback' \
+		./internal/exec ./internal/bench
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

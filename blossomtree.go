@@ -33,9 +33,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"strings"
 	"time"
 
 	"blossomtree/internal/exec"
+	"blossomtree/internal/feedback"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
 	"blossomtree/internal/shard"
@@ -512,6 +514,36 @@ func Metrics() map[string]int64 {
 // FormatMetrics renders a metrics snapshot as sorted "name value" lines.
 func FormatMetrics(m map[string]int64) string {
 	return obs.Format(m)
+}
+
+// FeedbackReport renders the process-wide feedback store — the
+// estimate→actual history the planner replans cached templates from —
+// as text: one block per query hash (most observed first) with its
+// strategy, sample count, latency EWMA, drift and replan state, then
+// one line per tracked operator comparing estimated and observed
+// cardinalities. Safe to call concurrently with evaluations.
+func FeedbackReport() string {
+	var sb strings.Builder
+	for _, q := range feedback.Shared.Summaries() {
+		fmt.Fprintf(&sb, "%s strategy=%s n=%d lat_ewma=%.3fms drift=%.2fx",
+			q.Hash, q.Strategy, q.N, q.LatencyMS, q.Drift)
+		if q.Replanned {
+			fmt.Fprintf(&sb, " replans=%d", q.Replans)
+			if q.Judged {
+				verdict := "loss"
+				if q.Won {
+					verdict = "win"
+				}
+				sb.WriteString(" verdict=" + verdict)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, op := range q.Ops {
+			fmt.Fprintf(&sb, "  op %s: est_out=%.0f act_out=%.1f act_scan=%.1f drift=%.2fx n=%d\n",
+				op.Key, op.EstOut, op.ActOut, op.ActScan, op.Drift, op.N)
+		}
+	}
+	return sb.String()
 }
 
 // WritePrometheus renders the process-wide metrics registry — counters

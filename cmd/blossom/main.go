@@ -33,6 +33,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "execute the query and print the annotated plan tree (cost estimates next to actual counters and timings)")
 		explOnly  = flag.Bool("explain-only", false, "print the plan with estimates only, without executing")
 		metrics   = flag.Bool("metrics", false, "print the engine metrics registry after the run")
+		fb        = flag.Bool("feedback", false, "print the feedback store (observed est/act cardinality history per query hash) after the run; most useful with -repeat")
 		noIndex   = flag.Bool("no-indexes", false, "disable tag indexes (streaming configuration)")
 		parallel  = flag.Int("parallel", 0, "fan independent NoK scans out across N workers (-1 = all cores)")
 		indent    = flag.Bool("indent", false, "pretty-print XML output")
@@ -98,6 +99,7 @@ func main() {
 		}
 		fmt.Print(s)
 		printMetrics(*metrics)
+		printFeedback(*fb)
 		return
 	}
 
@@ -119,6 +121,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer printFeedback(*fb)
 	defer printMetrics(*metrics)
 	if *quiet {
 		fmt.Println(res.Len())
@@ -160,6 +163,13 @@ func printMetrics(enabled bool) {
 		return
 	}
 	fmt.Print("-- metrics --\n" + blossomtree.FormatMetrics(blossomtree.Metrics()))
+}
+
+func printFeedback(enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Print("-- feedback --\n" + blossomtree.FeedbackReport())
 }
 
 func fatal(err error) {

@@ -39,6 +39,8 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset subset, e.g. d2,d5")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		qps      = flag.Bool("qps", false, "measure serial vs parallel batch throughput instead of a table")
+		fb       = flag.Bool("feedback", false, "compare static plans vs feedback-driven replans on a skewed corpus")
+		fbParts  = flag.Int("feedback-parts", 0, "-feedback: top-level part count of the skewed corpus (0 = default)")
 		workers  = flag.Int("workers", 0, "parallel worker count for -qps (0 = all cores)")
 		rounds   = flag.Int("rounds", 20, "suite repetitions per -qps batch")
 		shards   = flag.Int("shards", 0, "-qps: also compare catalog-wide fan-out vs an N-shard scatter-gather over N document copies")
@@ -60,6 +62,29 @@ func main() {
 		case *scale > 0:
 			targets[in.ID] = int(float64(in.PaperNodes) * *scale)
 		}
+	}
+
+	if *fb {
+		progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+		if *quiet {
+			progress = nil
+		}
+		rows, err := bench.RunFeedbackCompare(bench.FeedbackConfig{Parts: *fbParts, Repeats: *repeats}, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatFeedback(rows))
+		if *jsonOut != "" {
+			f := &bench.ResultsFile{
+				Config:   bench.ResultsConfig{Seed: *seed, Repeats: *repeats},
+				Feedback: bench.FeedbackResults(rows),
+			}
+			if err := bench.WriteResults(*jsonOut, f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		return
 	}
 
 	if *qps {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"blossomtree"
+	"blossomtree/internal/feedback"
 	"blossomtree/internal/server"
 	"blossomtree/internal/shard"
 	"blossomtree/internal/xmlgen"
@@ -69,6 +70,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "split the catalog across N consistent-hash engine shards (0 = unsharded)")
 		inflight   = flag.Int("max-inflight", 0, "admission control: cap concurrently evaluating queries, queueing up to 2N more (0 = off)")
 		tenantQPS  = flag.Float64("tenant-qps", 0, "admission control: per-tenant token-bucket rate, tenant = X-Tenant header (0 = off)")
+		fbDrift    = flag.Float64("feedback-drift-threshold", 0, "feedback loop: est/act drift ratio at which cached plans replan from history (0 = default 2.0)")
+		fbSamples  = flag.Int64("feedback-min-samples", 0, "feedback loop: observations required before a hash may replan (0 = default 32)")
 	)
 	flag.Var(&files, "load", "XML file to serve, registered under its basename as doc(\"…\") URI (repeatable)")
 	flag.Var(&gens, "gen", "synthetic dataset to serve, as id or id:nodes, e.g. d2:5000 (repeatable)")
@@ -87,6 +90,15 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	if *fbDrift > 0 || *fbSamples > 0 {
+		feedback.Shared.SetConfig(feedback.Config{
+			DriftThreshold: *fbDrift,
+			MinSamples:     *fbSamples,
+		})
+		cfg := feedback.Shared.ConfigSnapshot()
+		logger.Info("feedback trigger tuned", "drift_threshold", cfg.DriftThreshold, "min_samples", cfg.MinSamples)
+	}
 
 	eng := blossomtree.NewEngine()
 	switch {

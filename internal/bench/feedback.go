@@ -1,0 +1,255 @@
+package bench
+
+// Static-vs-feedback harness (ROADMAP item 5): measure whether the
+// feedback loop's history-corrected replans actually pay off. The
+// harness builds a deliberately skewed corpus — one where the static
+// cost model's cardinality estimates are wrong by orders of magnitude —
+// then runs each probe query through two arms:
+//
+//   static   — the cold plan's strategy, forced, for every repeat
+//              (forced strategies observe into the feedback store but
+//              never replan), and
+//   feedback — Strategy Auto throughout, so the plan cache hit path is
+//              free to replan from the history the static arm and the
+//              warm-up accumulated.
+//
+// A row compares the mean warm latency of the two arms and records
+// whether the feedback arm replanned, which strategy it flipped to,
+// and the drift that triggered the flip.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blossomtree/internal/exec"
+	"blossomtree/internal/feedback"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmltree"
+)
+
+// FeedbackConfig sizes the harness.
+type FeedbackConfig struct {
+	// Parts is the number of top-level part elements in the skewed
+	// corpus (default 1200). Only one in SkewEvery of them carries the
+	// <bolt/> child the probe query selects on, which is exactly the
+	// skew the static model cannot see.
+	Parts int
+	// SkewEvery spaces the bolt-bearing parts (default 240 → 5 matches
+	// at the default Parts).
+	SkewEvery int
+	// Repeats is the number of timed warm repeats per arm (default:
+	// the feedback ring size, so the replan is judged within the run).
+	Repeats int
+}
+
+func (c FeedbackConfig) withDefaults() FeedbackConfig {
+	if c.Parts <= 0 {
+		c.Parts = 1200
+	}
+	if c.SkewEvery <= 0 {
+		c.SkewEvery = 240
+	}
+	// At least RingSize warm repeats, so the replan's win/loss verdict
+	// is judged within the run.
+	if c.Repeats < feedback.DefaultRingSize {
+		c.Repeats = feedback.DefaultRingSize
+	}
+	return c
+}
+
+// FeedbackRow is one probe query's static-vs-feedback comparison.
+type FeedbackRow struct {
+	Query        string
+	ColdStrategy string  // strategy the static model picked cold
+	WarmStrategy string  // strategy the feedback arm ended on
+	Replanned    bool    // did the feedback arm replan from history
+	Drift        float64 // est/act ratio that armed the replan (0 if none)
+	Samples      int64   // feedback-store observation count at the end
+	StaticMean   time.Duration
+	FeedbackMean time.Duration
+	// Judged/Won mirror the store's own win/loss verdict for the replan
+	// (the verdict behind feedback_wins_total / feedback_losses_total).
+	Judged bool
+	Won    bool
+}
+
+// Speedup is the static/feedback latency ratio (>1 = feedback faster).
+func (r FeedbackRow) Speedup() float64 {
+	if r.FeedbackMean <= 0 {
+		return 0
+	}
+	return float64(r.StaticMean) / float64(r.FeedbackMean)
+}
+
+// feedbackProbes are the harness queries. The first is the headline
+// strategy flip: `//part[bolt]//subpart` estimates its twig root at
+// card(part) ≈ thousands while only a handful of parts carry a bolt, so
+// history drives a twig→nested-loop replan. The second is a well
+// estimated control — every part matches — that must NOT replan.
+var feedbackProbes = []string{
+	"//part[bolt]//subpart",
+	"//part//subpart",
+}
+
+// SkewedCorpus builds the harness document: parts top-level part
+// elements, each holding twelve subparts plus one nested part (the
+// nesting makes the tag recursive, which routes Auto to the twig plan),
+// with a <bolt/> child on every skewEvery-th part only.
+func SkewedCorpus(parts, skewEvery int) (*xmltree.Document, error) {
+	var sb strings.Builder
+	sb.WriteString("<assembly>")
+	for i := 0; i < parts; i++ {
+		sb.WriteString("<part>")
+		if i%skewEvery == 0 {
+			sb.WriteString("<bolt/>")
+		}
+		for j := 0; j < 12; j++ {
+			fmt.Fprintf(&sb, "<subpart id=\"%d-%d\"/>", i, j)
+		}
+		sb.WriteString("<part><subpart/></part>")
+		sb.WriteString("</part>")
+	}
+	sb.WriteString("</assembly>")
+	return xmltree.ParseString(sb.String())
+}
+
+// RunFeedbackCompare runs the static-vs-feedback comparison. It resets
+// the process-wide plan cache and feedback store around each probe (the
+// harness owns both for the duration) and restores the feedback
+// configuration it tightened before returning.
+func RunFeedbackCompare(cfg FeedbackConfig, progress func(string)) ([]FeedbackRow, error) {
+	cfg = cfg.withDefaults()
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	doc, err := SkewedCorpus(cfg.Parts, cfg.SkewEvery)
+	if err != nil {
+		return nil, fmt.Errorf("bench: skewed corpus: %w", err)
+	}
+	eng := exec.New()
+	eng.Add("skew", doc)
+
+	// Tighten the trigger so one harness run crosses it: warmRuns
+	// observations arm the replan on the feedback arm's first cache
+	// hit, and Repeats stays under MinSamples so the re-arm guard
+	// spaces any second replan past the end of the run.
+	prev := feedback.Shared.ConfigSnapshot()
+	warmRuns := int64(2 * feedback.DefaultRingSize)
+	feedback.Shared.SetConfig(feedback.Config{
+		DriftThreshold: feedback.DefaultDriftThreshold,
+		MinSamples:     warmRuns,
+		RingSize:       feedback.DefaultRingSize,
+		MaxQueries:     prev.MaxQueries,
+	})
+	defer feedback.Shared.SetConfig(prev)
+
+	var rows []FeedbackRow
+	for _, q := range feedbackProbes {
+		progress(fmt.Sprintf("feedback probe %s", q))
+		row, err := runFeedbackProbe(eng, q, cfg, warmRuns)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runFeedbackProbe measures one query through both arms.
+func runFeedbackProbe(eng *exec.Engine, q string, cfg FeedbackConfig, warmRuns int64) (FeedbackRow, error) {
+	exec.ResetPlanCache()
+	exec.ResetFeedback()
+
+	// Cold probe: what does the static model pick with no history?
+	cold, err := eng.EvalOptions(q, plan.Options{Strategy: plan.Auto})
+	if err != nil {
+		return FeedbackRow{}, fmt.Errorf("bench: cold probe %s: %w", q, err)
+	}
+	if cold.Plan == nil {
+		return FeedbackRow{}, fmt.Errorf("bench: cold probe %s routed to navigational fallback", q)
+	}
+	coldStrategy := cold.Plan.Strategy
+
+	// Static arm: the cold strategy, forced. Warms the hash's history
+	// to warmRuns observations (the cold probe was the first) and
+	// yields the static-plan baseline timing over the last Repeats.
+	var staticMean time.Duration
+	for i := int64(1); i < warmRuns; i++ {
+		start := time.Now()
+		if _, err := eng.EvalOptions(q, plan.Options{Strategy: coldStrategy}); err != nil {
+			return FeedbackRow{}, fmt.Errorf("bench: static arm %s: %w", q, err)
+		}
+		if warmRuns-i <= int64(cfg.Repeats) {
+			staticMean += time.Since(start)
+		}
+	}
+	staticMean /= time.Duration(cfg.Repeats)
+
+	// Feedback arm: Auto repeats. The first repeat hits the cold
+	// probe's cached template with n ≥ MinSamples of history, so a
+	// drifted estimate replans right there; the timed repeats then run
+	// the corrected template.
+	var (
+		feedbackMean time.Duration
+		warm         = FeedbackRow{Query: q, ColdStrategy: coldStrategy.String()}
+	)
+	for i := 0; i < cfg.Repeats; i++ {
+		start := time.Now()
+		res, err := eng.EvalOptions(q, plan.Options{Strategy: plan.Auto})
+		if err != nil {
+			return FeedbackRow{}, fmt.Errorf("bench: feedback arm %s: %w", q, err)
+		}
+		feedbackMean += time.Since(start)
+		if res.Plan != nil {
+			warm.WarmStrategy = res.Plan.Strategy.String()
+		}
+		if res.Replanned {
+			warm.Replanned = true
+			warm.Drift = res.FeedbackDrift
+		}
+	}
+	feedbackMean /= time.Duration(cfg.Repeats)
+
+	warm.StaticMean = staticMean
+	warm.FeedbackMean = feedbackMean
+	if sum, ok := feedback.Shared.Lookup(obs.QueryHash(q)); ok {
+		warm.Samples = sum.N
+		warm.Judged = sum.Judged
+		warm.Won = sum.Won
+	}
+	return warm, nil
+}
+
+// FormatFeedback renders the comparison as an aligned table.
+func FormatFeedback(rows []FeedbackRow) string {
+	var sb strings.Builder
+	sb.WriteString("Feedback-driven planning: static plan vs. history-corrected replan\n")
+	fmt.Fprintf(&sb, "%-26s %6s %6s %10s %8s %12s %12s %8s %8s\n",
+		"query", "cold", "warm", "replanned", "drift", "static", "feedback", "speedup", "verdict")
+	for _, r := range rows {
+		replanned := "no"
+		if r.Replanned {
+			replanned = "yes"
+		}
+		drift := "-"
+		if r.Drift > 0 {
+			drift = fmt.Sprintf("%.1fx", r.Drift)
+		}
+		verdict := "-"
+		if r.Judged {
+			if r.Won {
+				verdict = "win"
+			} else {
+				verdict = "loss"
+			}
+		}
+		fmt.Fprintf(&sb, "%-26s %6s %6s %10s %8s %12s %12s %7.2fx %8s\n",
+			r.Query, r.ColdStrategy, r.WarmStrategy, replanned, drift,
+			r.StaticMean.Round(time.Microsecond), r.FeedbackMean.Round(time.Microsecond),
+			r.Speedup(), verdict)
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestFeedbackCompareReplans pins the harness's headline behavior on
+// the skewed corpus: the probe with the skewed predicate must replan
+// from history onto a different strategy than the cold plan, the
+// well-estimated control must not replan, and across all judged
+// replans wins must be at least losses (the CI gate).
+func TestFeedbackCompareReplans(t *testing.T) {
+	rows, err := RunFeedbackCompare(FeedbackConfig{}, nil)
+	if err != nil {
+		t.Fatalf("RunFeedbackCompare: %v", err)
+	}
+	if len(rows) != len(feedbackProbes) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(feedbackProbes))
+	}
+
+	skew := rows[0]
+	if !skew.Replanned {
+		t.Fatalf("skewed probe %s did not replan: %+v", skew.Query, skew)
+	}
+	if skew.WarmStrategy == skew.ColdStrategy {
+		t.Errorf("skewed probe kept strategy %s after replan", skew.ColdStrategy)
+	}
+	if skew.Drift < 2 {
+		t.Errorf("skewed probe drift = %.2f, want >= 2", skew.Drift)
+	}
+
+	control := rows[1]
+	if control.Replanned {
+		t.Errorf("control probe %s replanned (drift %.2f); estimates should match actuals", control.Query, control.Drift)
+	}
+
+	wins, losses := 0, 0
+	for _, r := range rows {
+		if !r.Judged {
+			continue
+		}
+		if r.Won {
+			wins++
+		} else {
+			losses++
+		}
+	}
+	if wins < losses {
+		t.Errorf("feedback wins %d < losses %d", wins, losses)
+	}
+	t.Logf("\n%s", FormatFeedback(rows))
+}

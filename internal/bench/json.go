@@ -31,6 +31,9 @@ type ResultsFile struct {
 	// Throughput holds the serial-vs-parallel batch comparison rows of
 	// the -qps mode.
 	Throughput []ThroughputResult `json:"throughput,omitempty"`
+	// Feedback holds the static-plan vs feedback-replan comparison rows
+	// of the -feedback mode (schema v3).
+	Feedback []FeedbackResult `json:"feedback,omitempty"`
 }
 
 // ResultsConfig records the knobs the run used, for apples-to-apples
@@ -191,12 +194,58 @@ func ThroughputResults(rows []ThroughputRow) []ThroughputResult {
 	return out
 }
 
+// FeedbackResult is one static-vs-feedback comparison row: did the
+// history-corrected replan beat the static plan it replaced?
+type FeedbackResult struct {
+	Query        string  `json:"query"`
+	ColdStrategy string  `json:"cold_strategy"`
+	WarmStrategy string  `json:"warm_strategy"`
+	Replanned    bool    `json:"replanned"`
+	Drift        float64 `json:"drift,omitempty"`
+	Samples      int64   `json:"samples"`
+	StaticMeanS  float64 `json:"static_mean_s"`
+	WarmMeanS    float64 `json:"feedback_mean_s"`
+	Speedup      float64 `json:"speedup"`
+	// Verdict is the feedback store's own judgement of the replan
+	// ("win", "loss", or "" when unjudged / no replan), the per-row view
+	// of feedback_wins_total and feedback_losses_total.
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// FeedbackResults converts feedback comparison rows into JSON records.
+func FeedbackResults(rows []FeedbackRow) []FeedbackResult {
+	var out []FeedbackResult
+	for _, r := range rows {
+		res := FeedbackResult{
+			Query:        r.Query,
+			ColdStrategy: r.ColdStrategy,
+			WarmStrategy: r.WarmStrategy,
+			Replanned:    r.Replanned,
+			Drift:        r.Drift,
+			Samples:      r.Samples,
+			StaticMeanS:  r.StaticMean.Seconds(),
+			WarmMeanS:    r.FeedbackMean.Seconds(),
+			Speedup:      r.Speedup(),
+		}
+		if r.Judged {
+			if r.Won {
+				res.Verdict = "win"
+			} else {
+				res.Verdict = "loss"
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
 // WriteResults marshals a results file (indented, trailing newline) to
 // path.
 func WriteResults(path string, f *ResultsFile) error {
 	// v2 added the VEC system's table3 cells and the vectorized
-	// tuple-vs-columnar comparison section.
-	f.SchemaVersion = 2
+	// tuple-vs-columnar comparison section; v3 added the feedback
+	// static-vs-replan comparison section.
+	f.SchemaVersion = 3
 	if f.GeneratedAt == "" {
 		f.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

@@ -202,6 +202,13 @@ type Result struct {
 	// (empty for planned runs and for an explicitly requested XH
 	// strategy).
 	NavReason string
+	// Replanned reports that the cached plan template was recompiled
+	// with history-corrected cardinalities before this evaluation,
+	// because its estimates had drifted from the feedback store's
+	// observed actuals by FeedbackDrift× (the ratio that crossed the
+	// threshold).
+	Replanned     bool
+	FeedbackDrift float64
 	// Degraded is non-nil when this result came from a scatter-gather
 	// whose fan-out lost one or more shards after retry: the result is a
 	// correct but partial view covering only the surviving shards.
@@ -339,6 +346,7 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options, src string) (res 
 		// evaluation's governor and telemetry.
 		tel.strategy = "XH"
 		tel.cached = hit
+		tel.navReason = c.navReason
 		res, err := evalNavigational(s, expr, g)
 		if res != nil {
 			res.Cached = hit
@@ -350,11 +358,14 @@ func evalExpr(s *snapshot, expr flwor.Expr, opts plan.Options, src string) (res 
 	pl.Cached = hit
 	tel.plan = pl
 	tel.cached = hit
+	tel.replanned = c.replanned
+	tel.drift = c.fbDrift
 	instances, err := pl.Execute()
 	if err != nil {
 		return nil, err
 	}
-	res = &Result{Query: c.q, Plan: pl, Instances: instances, Cached: hit}
+	res = &Result{Query: c.q, Plan: pl, Instances: instances, Cached: hit,
+		Replanned: c.replanned, FeedbackDrift: c.fbDrift}
 	if c.isPath {
 		res.Nodes = projectPathResult(c.q, instances, c.textTail)
 		return res, nil
@@ -377,6 +388,12 @@ func compiledFor(s *snapshot, expr flwor.Expr, src string, opts plan.Options) (*
 	if !bypass {
 		key = planKey{version: s.version, hash: obs.QueryHash(src), fp: planFingerprint(opts)}
 		if c, ok := sharedPlanCache.get(key); ok {
+			// A hit is where the feedback loop closes: if observed history
+			// has drifted past the threshold, the template is recompiled
+			// with corrected cardinalities and re-cached under this key.
+			if c2 := maybeReplan(s, expr, key, c, opts); c2 != nil {
+				return c2, true, nil
+			}
 			return c, true, nil
 		}
 	}
@@ -416,6 +433,7 @@ func compileTemplate(s *snapshot, expr flwor.Expr, opts plan.Options) (*compiled
 		MergeScans: opts.MergeScans,
 		Index:      opts.Index,
 		Stats:      opts.Stats,
+		CardHints:  opts.CardHints,
 	}
 	if popts.Index == nil {
 		popts.Index = ix
@@ -456,8 +474,12 @@ func (e *Engine) ExplainDocOptions(uri, src string, opts plan.Options) (string, 
 	return explainSnapshot(snap.pin(uri), src, opts)
 }
 
-// explainSnapshot renders EXPLAIN against a fixed snapshot.
+// explainSnapshot renders EXPLAIN against a fixed snapshot. The
+// feedback store is consulted the same way a cache hit would: a query
+// whose history armed a replan explains cost-based with hints, and a
+// hash with enough history gets a feedback header line.
 func explainSnapshot(s *snapshot, src string, opts plan.Options) (string, error) {
+	opts, fbLine := feedbackExplainOpts(src, opts)
 	pl, err := buildPlan(s, src, opts)
 	if err != nil {
 		if errors.Is(err, core.ErrOutsideFragment) {
@@ -470,7 +492,7 @@ func explainSnapshot(s *snapshot, src string, opts plan.Options) (string, error)
 	if _, err := pl.Operator(); err != nil {
 		return "", err
 	}
-	return pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(false), nil
+	return pl.Explain() + fbLine + pl.ExplainCosts() + pl.ExplainTree(false), nil
 }
 
 // ExplainAnalyze compiles the query, executes it with per-operator
@@ -499,6 +521,7 @@ func (e *Engine) ExplainAnalyzeDocOptions(uri, src string, opts plan.Options) (s
 // snapshot.
 func explainAnalyzeSnapshot(s *snapshot, src string, opts plan.Options) (string, error) {
 	opts.Analyze = true
+	opts, fbLine := feedbackExplainOpts(src, opts)
 	pl, err := buildPlan(s, src, opts)
 	if err != nil {
 		if errors.Is(err, core.ErrOutsideFragment) {
@@ -524,7 +547,7 @@ func explainAnalyzeSnapshot(s *snapshot, src string, opts plan.Options) (string,
 	obs.Default.Add(obs.MetricQueryNanos, time.Since(t0).Nanoseconds())
 	obs.Default.Histogram(obs.HistQueryDuration, obs.LatencyBuckets).ObserveDuration(time.Since(t0))
 	recordPlanMetrics(pl)
-	return pl.Explain() + pl.ExplainCosts() + pl.ExplainTree(true), nil
+	return pl.Explain() + fbLine + pl.ExplainCosts() + pl.ExplainTree(true), nil
 }
 
 // navExplain renders the EXPLAIN header for queries outside the

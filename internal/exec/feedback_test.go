@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"blossomtree/internal/feedback"
+	"blossomtree/internal/obs"
+	"blossomtree/internal/plan"
+	"blossomtree/internal/xmltree"
+)
+
+// skewedDoc builds a corpus the static cost model misestimates: parts
+// nested in parts (recursive, so Auto picks the twig plan) where only
+// one part in skewEvery carries the <bolt/> child the probe query
+// filters on. The twig root's estimate is card(part) — thousands —
+// while only a handful of parts match.
+func skewedDoc(t *testing.T, parts, skewEvery int) *xmltree.Document {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<assembly>")
+	for i := 0; i < parts; i++ {
+		sb.WriteString("<part>")
+		if i%skewEvery == 0 {
+			sb.WriteString("<bolt/>")
+		}
+		for j := 0; j < 12; j++ {
+			sb.WriteString("<subpart/>")
+		}
+		sb.WriteString("<part><subpart/></part></part>")
+	}
+	sb.WriteString("</assembly>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// withFeedbackConfig tightens the shared store's trigger for the test
+// and restores defaults (plus a clean store and plan cache) after.
+func withFeedbackConfig(t *testing.T, cfg feedback.Config) {
+	t.Helper()
+	prev := feedback.Shared.ConfigSnapshot()
+	feedback.Shared.SetConfig(cfg)
+	ResetFeedback()
+	ResetPlanCache()
+	t.Cleanup(func() {
+		feedback.Shared.SetConfig(prev)
+		ResetFeedback()
+		ResetPlanCache()
+	})
+}
+
+// TestFeedbackReplanFromHistory pins the whole loop end to end:
+// estimates drift from observed actuals, a cache hit replans onto a
+// different strategy with history-corrected cardinalities, the result
+// and EXPLAIN surface the replan, and the replan is judged a win.
+func TestFeedbackReplanFromHistory(t *testing.T) {
+	const q = "//part[bolt]//subpart"
+	// MinSamples well past RingSize so the first replan's judgement
+	// completes before the re-arm guard can open again, and the run
+	// count below stays under 2×MinSamples so exactly one replan fires.
+	withFeedbackConfig(t, feedback.Config{DriftThreshold: 2, MinSamples: 8, RingSize: 3})
+
+	e := New()
+	e.Add("skew", skewedDoc(t, 1000, 200))
+
+	cold, err := e.EvalOptions(q, plan.Options{Strategy: plan.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Plan == nil {
+		t.Fatal("cold run routed to navigational fallback")
+	}
+	coldStrategy := cold.Plan.Strategy
+	if cold.Replanned {
+		t.Fatal("cold run claims to be replanned")
+	}
+	want := cold.Nodes
+
+	before := obs.Default.Snapshot()[obs.MetricFeedbackReplans]
+
+	// Warm the history past MinSamples, then keep running: the first
+	// cache hit at n >= MinSamples must replan, and every post-replan
+	// run must return the identical result.
+	var replanRun = -1
+	var last *Result
+	for i := 0; i < 13; i++ {
+		res, err := e.EvalOptions(q, plan.Options{Strategy: plan.Auto})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if len(res.Nodes) != len(want) {
+			t.Fatalf("run %d: %d nodes, want %d", i, len(res.Nodes), len(want))
+		}
+		if res.Replanned && replanRun < 0 {
+			replanRun = i
+			if res.FeedbackDrift < 2 {
+				t.Errorf("replan drift = %v, want >= threshold 2", res.FeedbackDrift)
+			}
+		}
+		last = res
+	}
+	if replanRun < 0 {
+		t.Fatal("no run executed a replanned template")
+	}
+	if last.Plan.Strategy == coldStrategy {
+		t.Errorf("warm strategy %s did not flip from cold %s", last.Plan.Strategy, coldStrategy)
+	}
+	if !last.Replanned {
+		t.Error("post-replan runs lost the replanned mark")
+	}
+
+	after := obs.Default.Snapshot()[obs.MetricFeedbackReplans]
+	if after <= before {
+		t.Errorf("feedback_replans_total did not move (%d -> %d)", before, after)
+	}
+
+	// EXPLAIN surfaces the history: the feedback header line with the
+	// replanned mark, and the cost model's hint note.
+	expl, err := e.ExplainOptions(q, plan.Options{Strategy: plan.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl, "feedback: n=") || !strings.Contains(expl, "replanned") {
+		t.Errorf("EXPLAIN lacks the feedback header:\n%s", expl)
+	}
+	if !strings.Contains(expl, "cardinality hints applied to the cost model") {
+		t.Errorf("EXPLAIN lacks the hint note:\n%s", expl)
+	}
+
+	// The store judged the replan against the pre-replan latency EWMA;
+	// the corrected plan scans a fraction of the twig's streams, so it
+	// must win.
+	sum, ok := feedback.Shared.Lookup(obs.QueryHash(q))
+	if !ok {
+		t.Fatal("hash missing from feedback store")
+	}
+	if !sum.Judged {
+		t.Fatalf("replan not judged after %d post-replan runs: %+v", 13-replanRun, sum)
+	}
+	if !sum.Won {
+		t.Errorf("replan judged a loss: %+v", sum)
+	}
+}
+
+// TestFeedbackForcedStrategyObservesButNeverReplans: forced strategies
+// contribute history but the replan trigger only fires for Auto and
+// cost-based evaluations.
+func TestFeedbackForcedStrategyObservesButNeverReplans(t *testing.T) {
+	const q = "//part[bolt]//subpart"
+	withFeedbackConfig(t, feedback.Config{DriftThreshold: 2, MinSamples: 2, RingSize: 2})
+
+	e := New()
+	e.Add("skew", skewedDoc(t, 200, 40))
+
+	for i := 0; i < 6; i++ {
+		res, err := e.EvalOptions(q, plan.Options{Strategy: plan.Twig})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Replanned {
+			t.Fatalf("run %d: forced Twig evaluation replanned", i)
+		}
+	}
+	sum, ok := feedback.Shared.Lookup(obs.QueryHash(q))
+	if !ok || sum.N != 6 {
+		t.Fatalf("forced runs did not observe history: ok=%v sum=%+v", ok, sum)
+	}
+	if sum.Replanned {
+		t.Error("forced runs armed a replan")
+	}
+}
+
+// TestFeedbackStressConcurrentReplans hammers the feedback loop under
+// the race detector: concurrent queriers (whose cache hits race to arm
+// the same replan), catalog writers bumping the engine snapshot, and
+// readers walking summaries and EXPLAIN — the interleavings the
+// process-wide store and plan cache must survive.
+func TestFeedbackStressConcurrentReplans(t *testing.T) {
+	const q = "//part[bolt]//subpart"
+	withFeedbackConfig(t, feedback.Config{DriftThreshold: 2, MinSamples: 2, RingSize: 2})
+
+	e := New()
+	e.Add("skew", skewedDoc(t, 120, 24))
+
+	// Establish the expected count before the racers start (the count
+	// is stable: the writer adds unrelated documents).
+	res, err := e.EvalOptions(q, plan.Options{Strategy: plan.Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Nodes)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				res, err := e.EvalOptions(q, plan.Options{Strategy: plan.Auto})
+				if err != nil {
+					t.Errorf("querier: %v", err)
+					return
+				}
+				if len(res.Nodes) != want {
+					t.Errorf("querier: %d nodes, want %d", len(res.Nodes), want)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(2)
+	go func() { // catalog writer: snapshot bumps invalidate cached templates
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			doc, err := xmltree.ParseString(fmt.Sprintf("<extra n=\"%d\"/>", i))
+			if err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			e.Add(fmt.Sprintf("extra-%d", i), doc)
+		}
+	}()
+	go func() { // readers: summaries and EXPLAIN race the writers
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			feedback.Shared.Summaries()
+			if _, err := e.ExplainOptions(q, plan.Options{Strategy: plan.Auto}); err != nil {
+				t.Errorf("explain: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

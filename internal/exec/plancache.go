@@ -70,6 +70,12 @@ type compiled struct {
 	// navReason is the fragment violation that forced the fallback,
 	// surfaced by EXPLAIN.
 	navReason string
+	// replanned marks a template recompiled from feedback history after
+	// its estimates drifted from observed actuals; fbDrift is the
+	// est/act ratio that triggered it. Both flow into the query log and
+	// the Result so callers can see the loop act.
+	replanned bool
+	fbDrift   float64
 }
 
 // planCache is a mutex-guarded LRU. The lock is held only for the map

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blossomtree/internal/feedback"
 	"blossomtree/internal/gov"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
@@ -41,6 +42,13 @@ type telemetry struct {
 	gov      *gov.Governor
 	cached   bool // plan served from the compiled-plan cache
 	start    time.Time
+	// navReason carries the fragment violation that routed the query to
+	// the navigational fallback ("" for planned runs).
+	navReason string
+	// replanned/drift mark an evaluation running a feedback-replanned
+	// template (estimates drifted from observed history by drift×).
+	replanned bool
+	drift     float64
 }
 
 // emit records the evaluation into the histogram, the trace store, and
@@ -51,6 +59,16 @@ func (t *telemetry) emit(opts plan.Options, res *Result, err error) {
 
 	st := t.statsTree(err)
 	obs.DefaultTraces.Put(t.queryID, obs.NewTrace(t.queryID, st, elapsed))
+
+	// Feed the estimate→actual loop: every successful planned evaluation
+	// records its per-operator est/act counters into the shared feedback
+	// store, keyed by query hash (batch, all-docs and sharded paths all
+	// reach this boundary, so they all contribute history).
+	if err == nil && t.plan != nil {
+		if ops := feedbackOps(t.plan.StatsTree()); len(ops) > 0 {
+			feedback.Shared.Observe(obs.QueryHash(t.src), t.plan.Strategy.String(), elapsed.Seconds(), ops)
+		}
+	}
 
 	if opts.Logger == nil {
 		return
@@ -64,6 +82,9 @@ func (t *telemetry) emit(opts plan.Options, res *Result, err error) {
 		RowsOut:      rowsOut(res),
 		Latency:      elapsed,
 		Cached:       t.cached,
+		NavReason:    t.navReason,
+		Replanned:    t.replanned,
+		Drift:        t.drift,
 	}
 	if st == nil {
 		entry.NodesScanned = t.gov.NodesScanned()

@@ -1,0 +1,198 @@
+package feedback
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"blossomtree/internal/obs"
+)
+
+func testStore(cfg Config) (*Store, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return NewStore(cfg, reg), reg
+}
+
+func obsOf(est float64, act int64) []OpObservation {
+	return []OpObservation{{Key: "part", EstOut: est, Emitted: act, Scanned: act * 2}}
+}
+
+func TestObserveEWMAAndDrift(t *testing.T) {
+	s, _ := testStore(Config{})
+	// First observation seeds the EWMA; later ones converge on it.
+	s.Observe("h", "TS", 0.010, obsOf(1000, 10))
+	sum, ok := s.Lookup("h")
+	if !ok {
+		t.Fatal("hash not tracked")
+	}
+	if sum.N != 1 || sum.LatencyMS != 10 {
+		t.Fatalf("after seed: n=%d lat=%.3fms, want n=1 lat=10ms", sum.N, sum.LatencyMS)
+	}
+	if got := sum.Ops[0].ActOut; got != 10 {
+		t.Fatalf("seed act_out = %v, want 10", got)
+	}
+	if got := sum.Drift; got != 100 {
+		t.Fatalf("drift = %v, want est/act = 1000/10 = 100", got)
+	}
+
+	// An accurate estimate keeps drift at the floor of 1 even when the
+	// actual exceeds it slightly in the other direction.
+	s.Observe("h2", "PL", 0.010, obsOf(10, 10))
+	sum2, _ := s.Lookup("h2")
+	if sum2.Drift != 1 {
+		t.Fatalf("exact estimate drift = %v, want 1", sum2.Drift)
+	}
+
+	for i := 0; i < 50; i++ {
+		s.Observe("h", "TS", 0.020, obsOf(1000, 10))
+	}
+	sum, _ = s.Lookup("h")
+	if sum.LatencyMS < 19 || sum.LatencyMS > 20 {
+		t.Fatalf("latency EWMA %.3fms did not converge on 20ms", sum.LatencyMS)
+	}
+	if len(sum.Ops[0].Ring) != DefaultRingSize {
+		t.Fatalf("ring holds %d samples, want %d", len(sum.Ops[0].Ring), DefaultRingSize)
+	}
+}
+
+func TestStoreBound(t *testing.T) {
+	s, _ := testStore(Config{MaxQueries: 4})
+	for i := 0; i < 10; i++ {
+		s.Observe(fmt.Sprintf("h%d", i), "PL", 0.001, obsOf(1, 1))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("store holds %d hashes, want bound 4", s.Len())
+	}
+	// Least recently observed evicted: h0..h5 gone, h6..h9 kept.
+	if _, ok := s.Lookup("h0"); ok {
+		t.Error("h0 survived eviction")
+	}
+	if _, ok := s.Lookup("h9"); !ok {
+		t.Error("h9 evicted despite being most recent")
+	}
+	// Re-observing an old hash moves it to the front.
+	s.Observe("h6", "PL", 0.001, obsOf(1, 1))
+	s.Observe("hNew", "PL", 0.001, obsOf(1, 1))
+	if _, ok := s.Lookup("h6"); !ok {
+		t.Error("h6 evicted right after being touched")
+	}
+}
+
+func TestBeginReplanGates(t *testing.T) {
+	s, reg := testStore(Config{DriftThreshold: 2, MinSamples: 4, RingSize: 2})
+
+	// Not enough samples yet.
+	for i := 0; i < 3; i++ {
+		s.Observe("h", "TS", 0.010, obsOf(1000, 10))
+	}
+	if _, _, ok := s.BeginReplan("h"); ok {
+		t.Fatal("replanned below MinSamples")
+	}
+
+	// Fourth sample crosses the gate; drift 100 >= 2 arms the replan.
+	s.Observe("h", "TS", 0.010, obsOf(1000, 10))
+	hints, drift, ok := s.BeginReplan("h")
+	if !ok {
+		t.Fatal("did not replan at MinSamples with 100x drift")
+	}
+	if drift != 100 {
+		t.Fatalf("drift = %v, want 100", drift)
+	}
+	if got := hints["part"]; got != 10 {
+		t.Fatalf("hint = %v, want observed EWMA 10", got)
+	}
+	if got := reg.Snapshot()[obs.MetricFeedbackReplans]; got != 1 {
+		t.Fatalf("replans counter = %d, want 1", got)
+	}
+
+	// Re-arm guard: the next MinSamples-1 observations may not replan
+	// again, even though drift persists.
+	for i := 0; i < 3; i++ {
+		s.Observe("h", "TS", 0.010, obsOf(1000, 10))
+		if _, _, ok := s.BeginReplan("h"); ok {
+			t.Fatalf("replanned again %d observations after the last replan", i+1)
+		}
+	}
+	s.Observe("h", "TS", 0.010, obsOf(1000, 10))
+	if _, _, ok := s.BeginReplan("h"); !ok {
+		t.Fatal("re-arm guard still closed after MinSamples further observations")
+	}
+
+	// An undrifted hash never replans regardless of sample count.
+	for i := 0; i < 10; i++ {
+		s.Observe("flat", "PL", 0.010, obsOf(10, 10))
+	}
+	if _, _, ok := s.BeginReplan("flat"); ok {
+		t.Fatal("replanned with drift 1")
+	}
+}
+
+func TestWinLossJudgement(t *testing.T) {
+	s, reg := testStore(Config{DriftThreshold: 2, MinSamples: 2, RingSize: 2})
+
+	// Win: post-replan latency mean below the pre-replan EWMA.
+	for i := 0; i < 2; i++ {
+		s.Observe("win", "TS", 0.100, obsOf(1000, 10))
+	}
+	if _, _, ok := s.BeginReplan("win"); !ok {
+		t.Fatal("win hash did not arm")
+	}
+	s.Observe("win", "NL", 0.010, obsOf(10, 10))
+	if sum, _ := s.Lookup("win"); sum.Judged {
+		t.Fatal("judged before RingSize post-replan samples")
+	}
+	s.Observe("win", "NL", 0.010, obsOf(10, 10))
+	sum, _ := s.Lookup("win")
+	if !sum.Judged || !sum.Won {
+		t.Fatalf("want judged win, got %+v", sum)
+	}
+
+	// Loss: post-replan latency above the pre-replan EWMA.
+	for i := 0; i < 2; i++ {
+		s.Observe("loss", "TS", 0.010, obsOf(1000, 10))
+	}
+	if _, _, ok := s.BeginReplan("loss"); !ok {
+		t.Fatal("loss hash did not arm")
+	}
+	s.Observe("loss", "NL", 0.100, obsOf(10, 10))
+	s.Observe("loss", "NL", 0.100, obsOf(10, 10))
+	sum, _ = s.Lookup("loss")
+	if !sum.Judged || sum.Won {
+		t.Fatalf("want judged loss, got %+v", sum)
+	}
+
+	snap := reg.Snapshot()
+	if snap[obs.MetricFeedbackWins] != 1 || snap[obs.MetricFeedbackLosses] != 1 {
+		t.Fatalf("counters wins=%d losses=%d, want 1/1", snap[obs.MetricFeedbackWins], snap[obs.MetricFeedbackLosses])
+	}
+
+	// Each replan is judged exactly once: further samples don't re-judge.
+	s.Observe("loss", "NL", 0.100, obsOf(10, 10))
+	if got := reg.Snapshot()[obs.MetricFeedbackLosses]; got != 1 {
+		t.Fatalf("losses counter re-bumped to %d after judgement", got)
+	}
+}
+
+// TestConcurrentObserve exercises the store's locking under -race:
+// parallel observers, replanners and readers on overlapping hashes.
+func TestConcurrentObserve(t *testing.T) {
+	s, _ := testStore(Config{MinSamples: 2, DriftThreshold: 2, MaxQueries: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hash := fmt.Sprintf("h%d", g%3)
+			for i := 0; i < 200; i++ {
+				s.Observe(hash, "TS", 0.001, obsOf(1000, 10))
+				s.BeginReplan(hash)
+				s.Lookup(hash)
+				s.Summaries()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d hashes, want 3", s.Len())
+	}
+}

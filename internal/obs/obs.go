@@ -44,6 +44,77 @@ func (c *Counter) Load() int64 {
 	return c.v.Load()
 }
 
+// LabeledCounter is a counter family with one label dimension (e.g.
+// queries_shed_total{tenant=…}). Label values are unbounded input —
+// tenants arrive from request headers — so the family guards its own
+// cardinality: the first MaxSeries distinct values each get a series,
+// and every later value folds into the reserved "other" series. The
+// per-series counters are the same lock-free Counter as the unlabeled
+// registry; only series creation takes the mutex.
+type LabeledCounter struct {
+	name  string
+	label string
+
+	mu     sync.Mutex
+	max    int
+	series map[string]*Counter
+}
+
+// LabelOther is the fold-over series value used once a LabeledCounter
+// reaches its cardinality bound.
+const LabelOther = "other"
+
+// DefaultLabelSeries bounds the distinct label values a LabeledCounter
+// tracks before folding into LabelOther.
+const DefaultLabelSeries = 16
+
+// Add bumps the series for the given label value, folding into
+// LabelOther past the cardinality bound. Empty values count as
+// LabelOther too, so callers can pass untrusted input straight through.
+func (c *LabeledCounter) Add(value string, n int64) {
+	if c == nil {
+		return
+	}
+	c.counterFor(value).Add(n)
+}
+
+func (c *LabeledCounter) counterFor(value string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if value == "" {
+		value = LabelOther
+	}
+	if ctr, ok := c.series[value]; ok {
+		return ctr
+	}
+	if value != LabelOther && len(c.series) >= c.max {
+		value = LabelOther
+		if ctr, ok := c.series[value]; ok {
+			return ctr
+		}
+	}
+	ctr := &Counter{}
+	c.series[value] = ctr
+	return ctr
+}
+
+// Label returns the family's label name (e.g. "tenant").
+func (c *LabeledCounter) Label() string { return c.label }
+
+// Series returns a point-in-time copy of every series value.
+func (c *LabeledCounter) Series() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.series))
+	for v, ctr := range c.series {
+		out[v] = ctr.Load()
+	}
+	return out
+}
+
 // Registry is a named set of counters and histograms. Registration is
 // guarded by a mutex; the instruments themselves are lock-free, so the
 // hot path (Add on an already-obtained *Counter, Observe on a
@@ -51,6 +122,7 @@ func (c *Counter) Load() int64 {
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	labeled    map[string]*LabeledCounter
 	histograms map[string]*Histogram
 }
 
@@ -58,6 +130,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		labeled:    make(map[string]*LabeledCounter),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -79,6 +152,45 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Add bumps the named counter by n (registering it if needed).
 func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
+
+// LabeledCounter returns the named counter family with one label
+// dimension, creating it on first use with the DefaultLabelSeries
+// cardinality bound. Later calls return the existing family regardless
+// of the label they pass. The labeled family is additional detail next
+// to — not a replacement for — the plain counter of the same name:
+// callers keep bumping the unlabeled aggregate so existing dashboards
+// and deltas stay whole.
+func (r *Registry) LabeledCounter(name, label string) *LabeledCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.labeled[name]
+	if !ok {
+		c = &LabeledCounter{
+			name:   name,
+			label:  label,
+			max:    DefaultLabelSeries,
+			series: make(map[string]*Counter),
+		}
+		r.labeled[name] = c
+	}
+	return c
+}
+
+// AddLabeled bumps one series of the named labeled counter family.
+func (r *Registry) AddLabeled(name, label, value string, n int64) {
+	r.LabeledCounter(name, label).Add(value, n)
+}
+
+// labeledSnapshot copies the labeled-family map for rendering.
+func (r *Registry) labeledSnapshot() map[string]*LabeledCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*LabeledCounter, len(r.labeled))
+	for name, c := range r.labeled {
+		out[name] = c
+	}
+	return out
+}
 
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use. Later calls return the existing
@@ -197,6 +309,14 @@ const (
 	MetricShardRetries  = "shard_retries_total"
 	MetricShardFailures = "shard_failures_total"
 	MetricShardDegraded = "shard_degraded_total"
+	// Feedback-loop counters (internal/feedback). Replans count cached
+	// templates recompiled with history-corrected cardinalities after
+	// their estimates drifted past the threshold; wins/losses judge each
+	// replan once enough post-replan latency samples accumulate, against
+	// the pre-replan latency EWMA.
+	MetricFeedbackReplans = "feedback_replans_total"
+	MetricFeedbackWins    = "feedback_wins_total"
+	MetricFeedbackLosses  = "feedback_losses_total"
 )
 
 // HistQueryDuration is the registry name of the query-latency histogram

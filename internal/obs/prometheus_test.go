@@ -2,6 +2,7 @@ package obs
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,6 +25,24 @@ func TestPrometheusGolden(t *testing.T) {
 	h := r.Histogram(HistQueryDuration, []float64{0.001, 0.01, 0.1, 1})
 	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 30} {
 		h.Observe(v)
+	}
+
+	// Labeled series render inside the family of their unlabeled
+	// aggregate: unlabeled line first (scrapers keyed on the bare name
+	// keep working), then the per-value series sorted with "other" last.
+	r.Add(MetricQueriesShed, 9)
+	r.AddLabeled(MetricQueriesShed, "tenant", "acme", 5)
+	r.AddLabeled(MetricQueriesShed, "tenant", "zeta", 3)
+	r.AddLabeled(MetricQueriesShed, "tenant", "", 1) // empty value folds into "other"
+	// A labeled family with no unlabeled counterpart renders standalone.
+	r.AddLabeled("replica_lag_total", "replica", "r1", 2)
+
+	// Per-shard histograms regroup at render time: shard_<i>_<rest>
+	// becomes one blossomtree_shard_<rest> family with {shard="i"}
+	// labels, shards in numeric order.
+	for i, obsv := range []float64{0.002, 0.05} {
+		sh := r.Histogram(fmt.Sprintf("shard_%d_query_duration_seconds", i), []float64{0.01, 0.1})
+		sh.Observe(obsv)
 	}
 
 	got := r.PrometheusText()

@@ -39,6 +39,14 @@ type QueryLogEntry struct {
 	// Cached reports whether the physical plan was served from the
 	// compiled-plan cache rather than compiled for this evaluation.
 	Cached bool
+	// NavReason says why the query routed to the navigational fallback
+	// instead of a BlossomTree plan; "" for planned queries.
+	NavReason string
+	// Replanned reports whether the plan was recompiled from feedback
+	// history (estimates drifted past the threshold) before this
+	// evaluation; Drift is the est/act ratio that triggered it.
+	Replanned bool
+	Drift     float64
 	// Err is the evaluation error message, "" on success.
 	Err string
 	// Explain lazily renders the query's EXPLAIN ANALYZE tree; it is
@@ -79,6 +87,15 @@ func (l *QueryLog) Record(e QueryLogEntry) {
 	}
 	if e.Cached {
 		attrs = append(attrs, slog.Bool("cached", true))
+	}
+	if e.NavReason != "" {
+		attrs = append(attrs, slog.String("nav_reason", e.NavReason))
+	}
+	if e.Replanned {
+		attrs = append(attrs, slog.Bool("replanned", true))
+	}
+	if e.Drift > 0 {
+		attrs = append(attrs, slog.Float64("drift", e.Drift))
 	}
 	if e.Err != "" {
 		attrs = append(attrs, slog.String("error", e.Err))

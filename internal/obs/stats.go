@@ -32,6 +32,14 @@ type OpStats struct {
 	// negative when unknown.
 	EstOut float64
 
+	// FeedbackKey, when non-empty, names this operator for the feedback
+	// store: the telemetry boundary records the operator's est/act
+	// counters under (query hash, FeedbackKey) so later plan-cache hits
+	// can compare cached estimates against observed history. Planners set
+	// it to the stable label of the NoK/twig root the operator produces
+	// (the same label the cost model's CardHints are keyed by).
+	FeedbackKey string
+
 	// Children are the stats of the operator's input operators.
 	Children []*OpStats
 

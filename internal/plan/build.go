@@ -252,6 +252,9 @@ func (p *Plan) baseScan(m *nok.Matcher) (join.Operator, *obs.OpStats) {
 		st := obs.NewOpStats("NoKScan", fmt.Sprintf("NoK%d %s", m.NoK.Index, kind))
 		st.EstNodes = p.scanCost(m.NoK)
 		st.EstOut = p.cardinality(m.NoK.Root)
+		// The telemetry boundary records this scan's est/act counters
+		// under the root label — the key CardHints resolve on a replan.
+		st.FeedbackKey = m.NoK.Root.Label()
 		return st
 	}
 	if ls, ok := p.preScanned[m.NoK]; ok {
@@ -370,6 +373,19 @@ func (p *Plan) buildTwig() (join.Operator, *obs.OpStats, error) {
 	ts.Stop = p.opts.Stop
 	ts.Gov = p.gov
 	st := obs.NewOpStats("TwigStack", fmt.Sprintf("twig rooted at %s", start.Label()))
+	// The operator emits one instance per distinct kept-variable
+	// combination, so the output estimate the feedback loop compares
+	// against must come from the kept variables' vertices (the widest
+	// dominates), not from the pattern root.
+	for _, v := range p.Query.Vars {
+		if c := p.cardinality(v); c > st.EstOut {
+			st.EstOut = c
+		}
+	}
+	if st.EstOut < 0 {
+		st.EstOut = p.cardinality(start)
+	}
+	st.FeedbackKey = start.Label()
 	for _, v := range p.Query.Tree.Vertices {
 		if !v.IsDocRoot() {
 			if st.EstNodes < 0 {

@@ -29,9 +29,24 @@ type CostEstimate struct {
 	Detail   string // one-line justification
 }
 
-// cardinality estimates how many elements match a vertex's tag test,
-// preferring exact index counts over statistics.
+// cardinality estimates how many elements match a vertex, preferring —
+// in order — feedback hints (observed output history injected by a
+// replan), exact index counts, and statistics. Hints are keyed by
+// Vertex.Label() so a hint targets the constrained vertex ("part[bolt]")
+// rather than every vertex sharing its tag.
 func (p *Plan) cardinality(v *core.Vertex) float64 {
+	if h, ok := p.opts.CardHints[v.Label()]; ok && !v.IsDocRoot() {
+		return h
+	}
+	return p.staticCardinality(v)
+}
+
+// staticCardinality is the synopsis-only estimate, ignoring feedback
+// hints. avgRegion depends on it: a region size is a document property,
+// and pricing it with a hinted (workload) cardinality would inflate
+// regions exactly when hints shrink — cancelling the hint out of every
+// nested-loop cost.
+func (p *Plan) staticCardinality(v *core.Vertex) float64 {
 	if v.IsDocRoot() {
 		return 1
 	}
@@ -68,7 +83,7 @@ func (p *Plan) docNodes() float64 {
 // the model uses the uniform share N / max(card, depth) with a floor of
 // the average root-to-leaf path length.
 func (p *Plan) avgRegion(v *core.Vertex) float64 {
-	card := p.cardinality(v)
+	card := p.staticCardinality(v)
 	n := p.docNodes()
 	if card <= 0 {
 		return 0

@@ -85,6 +85,14 @@ type Options struct {
 	// scanning per NoK (the merged-NoK optimization). Only meaningful
 	// without Index.
 	MergeScans bool
+	// CardHints overrides the cost model's cardinality synopsis for
+	// specific vertices, keyed by core.Vertex.Label(). The feedback loop
+	// injects observed output EWMAs here when a cached template's
+	// estimates drift from history, so a replan prices strategies with
+	// what actually happened instead of the static synopsis. Hints feed
+	// cardinality() only; avgRegion() keeps the static figures, because
+	// a region size is a document property, not a workload one.
+	CardHints map[string]float64
 	// Parallel fans the plan's independent NoK base scans out across at
 	// most Parallel worker goroutines before the operator tree runs
 	// (0 or 1 = serial; negative = GOMAXPROCS). Sound because documents
@@ -245,6 +253,9 @@ func Build(q *core.Query, doc *xmltree.Document, opts Options) (*Plan, error) {
 			}
 		}
 	}
+	if len(opts.CardHints) > 0 {
+		p.note("feedback: %d cardinality hints applied to the cost model", len(opts.CardHints))
+	}
 	p.note("strategy %s over %d NoKs, %d links, %d crossings",
 		p.Strategy, len(d.NoKs), len(d.Links), len(q.Tree.Crossings))
 	return p, nil
@@ -308,6 +319,7 @@ func (p *Plan) Fork(opts Options) *Plan {
 	opts.Index = p.opts.Index
 	opts.Stats = p.opts.Stats
 	opts.MergeScans = p.opts.MergeScans
+	opts.CardHints = p.opts.CardHints
 	f := &Plan{
 		Query:    p.Query,
 		Decomp:   p.Decomp,

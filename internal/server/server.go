@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"blossomtree"
+	"blossomtree/internal/feedback"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/shard"
 )
@@ -62,6 +63,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /trace/{queryID}", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -125,6 +127,13 @@ type QueryResponse struct {
 	TraceURL  string              `json:"trace_url"`
 	Error     string              `json:"error,omitempty"`
 	Verdict   string              `json:"verdict"`
+	// NavReason says why the query routed to the navigational fallback
+	// instead of a BlossomTree plan; absent for planned queries.
+	NavReason string `json:"nav_reason,omitempty"`
+	// Replanned marks an evaluation that ran a feedback-replanned plan
+	// template (estimates drifted from observed history by Drift×).
+	Replanned bool    `json:"replanned,omitempty"`
+	Drift     float64 `json:"drift,omitempty"`
 	// Degraded marks a partial scatter-gather result (some shards lost
 	// after their retry); nil/absent for complete results.
 	Degraded *DegradedInfo `json:"degraded,omitempty"`
@@ -218,6 +227,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if d := res.Degraded(); d != nil {
 		resp.Degraded = &DegradedInfo{FailedShards: d.FailedShards, Errors: d.Errors}
 	}
+	resp.NavReason = res.NavReason()
+	resp.Replanned = res.Replanned()
+	resp.Drift = res.Drift()
 	resp.Cached = res.Cached()
 	resp.Count = res.Len()
 	resp.XML = res.XML()
@@ -307,6 +319,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := blossomtree.WritePrometheus(w); err != nil && s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("metrics exposition failed", "error", err)
 	}
+}
+
+// handleFeedback exposes the feedback store: one JSON object per
+// tracked query hash with its observation count, latency EWMA, per-
+// operator est/act history, drift and replan state — the serving-side
+// view of the estimate→actual loop.
+func (s *Server) handleFeedback(w http.ResponseWriter, _ *http.Request) {
+	type feedbackResponse struct {
+		Queries []feedback.Summary `json:"queries"`
+	}
+	sums := feedback.Shared.Summaries()
+	if sums == nil {
+		sums = []feedback.Summary{}
+	}
+	writeJSON(w, http.StatusOK, feedbackResponse{Queries: sums})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

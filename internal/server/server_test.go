@@ -13,6 +13,8 @@ import (
 
 	"blossomtree"
 	"blossomtree/internal/fault"
+	"blossomtree/internal/feedback"
+	"blossomtree/internal/obs"
 	"blossomtree/internal/shard"
 )
 
@@ -485,4 +487,66 @@ func TestRequestBodyLimit(t *testing.T) {
 	if httpRes.StatusCode != http.StatusBadRequest {
 		t.Errorf("oversized body status = %d, want 400", httpRes.StatusCode)
 	}
+}
+
+// TestQueryEndpointNavReason: fragment-outside queries must say why
+// they routed to the navigational fallback; planned queries must omit
+// the field.
+func TestQueryEndpointNavReason(t *testing.T) {
+	ts := newTestServer(t)
+	status, res := postQuery(t, ts, QueryRequest{Query: `//book[contains(title, "Maximum")]`})
+	if status != http.StatusOK || res.Verdict != "ok" {
+		t.Fatalf("status = %d, verdict = %q", status, res.Verdict)
+	}
+	if res.NavReason == "" {
+		t.Error("nav-fallback response omits nav_reason")
+	}
+
+	status, res = postQuery(t, ts, QueryRequest{Query: `//book/title`})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if res.NavReason != "" {
+		t.Errorf("planned response carries nav_reason %q", res.NavReason)
+	}
+}
+
+// TestFeedbackEndpoint: repeated queries must show up in GET /feedback
+// with their observation counts.
+func TestFeedbackEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	const q = `//book[year>1900]/title`
+	for i := 0; i < 3; i++ {
+		if status, res := postQuery(t, ts, QueryRequest{Query: q}); status != http.StatusOK || res.Verdict != "ok" {
+			t.Fatalf("post %d: status = %d, verdict = %q", i, status, res.Verdict)
+		}
+	}
+	httpRes, err := http.Get(ts.URL + "/feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusOK {
+		t.Fatalf("GET /feedback status = %d", httpRes.StatusCode)
+	}
+	var fb struct {
+		Queries []feedback.Summary `json:"queries"`
+	}
+	if err := json.NewDecoder(httpRes.Body).Decode(&fb); err != nil {
+		t.Fatal(err)
+	}
+	hash := obs.QueryHash(q)
+	for _, sum := range fb.Queries {
+		if sum.Hash != hash {
+			continue
+		}
+		if sum.N < 3 {
+			t.Errorf("repeated query has n = %d, want >= 3", sum.N)
+		}
+		if len(sum.Ops) == 0 {
+			t.Error("history has no per-operator cells")
+		}
+		return
+	}
+	t.Fatalf("hash %s missing from /feedback (%d entries)", hash, len(fb.Queries))
 }

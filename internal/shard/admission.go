@@ -139,10 +139,13 @@ func (a *Admission) tenant(name string) *tenantState {
 	return t
 }
 
-// shed records one shed in the default registry and returns the typed
-// refusal.
-func shed(retryAfter time.Duration, reason string) error {
+// shed records one shed in the default registry — the unlabeled
+// aggregate plus the per-tenant labeled series (bounded top-K + "other"
+// cardinality guard lives in obs.LabeledCounter) — and returns the
+// typed refusal.
+func shed(tenant string, retryAfter time.Duration, reason string) error {
 	obs.Default.Add(obs.MetricQueriesShed, 1)
+	obs.Default.AddLabeled(obs.MetricQueriesShed, "tenant", tenant, 1)
 	if retryAfter < time.Second {
 		retryAfter = time.Second // Retry-After is whole seconds on the wire
 	}
@@ -158,7 +161,7 @@ func (a *Admission) Admit(ctx context.Context, tenant string) (func(), error) {
 		return func() {}, nil
 	}
 	if err := a.cfg.Fault.Hit(fault.SiteShardAdmission); err != nil {
-		return nil, shed(0, fmt.Sprintf("injected: %v", err))
+		return nil, shed(tenant, 0, fmt.Sprintf("injected: %v", err))
 	}
 
 	a.lock()
@@ -175,7 +178,7 @@ func (a *Admission) Admit(ctx context.Context, tenant string) (func(), error) {
 		if t.tokens < 1 {
 			need := (1 - t.tokens) / a.cfg.TenantQPS
 			a.unlock()
-			return nil, shed(time.Duration(need*float64(time.Second)), fmt.Sprintf("tenant %q over quota (%.3g qps)", tenant, a.cfg.TenantQPS))
+			return nil, shed(tenant, time.Duration(need*float64(time.Second)), fmt.Sprintf("tenant %q over quota (%.3g qps)", tenant, a.cfg.TenantQPS))
 		}
 		t.tokens--
 	}
@@ -191,7 +194,7 @@ func (a *Admission) Admit(ctx context.Context, tenant string) (func(), error) {
 	// Saturated: join the weighted-fair queue or shed when it is full.
 	if len(a.queue) >= a.cfg.MaxQueue {
 		a.unlock()
-		return nil, shed(a.cfg.MaxWait, fmt.Sprintf("queue full (%d waiting, %d inflight)", a.cfg.MaxQueue, a.cfg.MaxInflight))
+		return nil, shed(tenant, a.cfg.MaxWait, fmt.Sprintf("queue full (%d waiting, %d inflight)", a.cfg.MaxQueue, a.cfg.MaxInflight))
 	}
 	t := a.tenant(tenant)
 	start := a.vtime
@@ -214,7 +217,7 @@ func (a *Admission) Admit(ctx context.Context, tenant string) (func(), error) {
 		return a.releaseFunc(), nil
 	case <-timer.C:
 		if a.abandon(w) {
-			return nil, shed(a.cfg.MaxWait, fmt.Sprintf("queued longer than %v", a.cfg.MaxWait))
+			return nil, shed(tenant, a.cfg.MaxWait, fmt.Sprintf("queued longer than %v", a.cfg.MaxWait))
 		}
 		// Granted concurrently with the timeout: the slot is ours.
 		return a.releaseFunc(), nil

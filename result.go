@@ -124,6 +124,20 @@ func (r *Result) QueryID() string { return r.inner.QueryID }
 // this run.
 func (r *Result) Cached() bool { return r.inner.Cached }
 
+// NavReason says why the query routed to the navigational fallback
+// instead of a BlossomTree plan ("" for planned runs and for an
+// explicitly requested navigational strategy).
+func (r *Result) NavReason() string { return r.inner.NavReason }
+
+// Replanned reports whether the evaluation ran a plan template the
+// feedback loop had recompiled with history-corrected cardinalities,
+// after the cached template's estimates drifted from observed actuals.
+func (r *Result) Replanned() bool { return r.inner.Replanned }
+
+// Drift returns the est/act ratio that triggered the replan (0 when
+// Replanned is false).
+func (r *Result) Drift() float64 { return r.inner.FeedbackDrift }
+
 // Nodes returns a path query's result nodes (distinct, document order).
 // For FLWOR queries whose return clause is a bare variable/path, use
 // Rows.

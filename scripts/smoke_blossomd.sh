@@ -187,12 +187,29 @@ case $resp in
 esac
 echo "smoke: overload shed OK (429, Retry-After: ${retry_after}s)"
 
-shed=$(curl -sS "http://$addr/metrics" | sed -n 's/^blossomtree_queries_shed_total //p')
+metrics=$(curl -sS "http://$addr/metrics")
+shed=$(printf '%s\n' "$metrics" | sed -n 's/^blossomtree_queries_shed_total //p')
 if [ -z "$shed" ] || [ "$shed" -lt 1 ]; then
     echo "smoke: queries_shed_total missing or zero after a shed" >&2
     exit 1
 fi
-echo "smoke: shed counter OK (queries_shed_total=$shed)"
+# The shed must also appear as a per-tenant labeled series (tenant
+# defaults to "default" without an X-Tenant header).
+printf '%s\n' "$metrics" | grep -q '^blossomtree_queries_shed_total{tenant="default"} ' || {
+    echo "smoke: per-tenant shed series missing from exposition:" >&2
+    printf '%s\n' "$metrics" | grep queries_shed >&2 || true
+    exit 1
+}
+# The sharded daemon exposes per-shard latency histograms as one family
+# with shard labels.
+for sh in 0 1; do
+    printf '%s\n' "$metrics" | grep -q "^blossomtree_shard_query_duration_seconds_bucket{shard=\"$sh\"," || {
+        echo "smoke: shard $sh latency histogram missing from exposition:" >&2
+        printf '%s\n' "$metrics" | grep shard_query >&2 || true
+        exit 1
+    }
+done
+echo "smoke: shed counter OK (queries_shed_total=$shed, tenant+shard series present)"
 
 kill -TERM "$pid"
 status=0
@@ -204,4 +221,76 @@ if [ "$status" -ne 0 ]; then
     exit 1
 fi
 echo "smoke: clean shutdown (admission daemon)"
+
+# --- Feedback loop: a third daemon with a forced-drift trigger. -------
+# -feedback-drift-threshold 1.0 means any drift (the floor is exactly
+# 1.0) qualifies, and -feedback-min-samples 2 arms after two
+# observations — so the third identical query must replan: the response
+# carries "replanned":true, GET /feedback shows the hash with n >= 2,
+# and feedback_replans_total moves in /metrics.
+out3="$workdir/stdout3"
+log3="$workdir/stderr3"
+"$bin" -addr 127.0.0.1:0 -gen d2:2000 -feedback-drift-threshold 1.0 -feedback-min-samples 2 >"$out3" 2>"$log3" &
+pid=$!
+addr=
+for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: feedback daemon died during startup" >&2
+        cat "$log3" >&2
+        exit 1
+    fi
+    addr=$(sed -n 's/^blossomd listening on //p' "$out3")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: feedback daemon never announced its address" >&2; exit 1; }
+echo "smoke: feedback daemon up at $addr (drift-threshold 1.0, min-samples 2)"
+
+resp=
+for i in 1 2 3; do
+    resp=$(curl -sS -X POST "http://$addr/query" \
+        -H 'Content-Type: application/json' \
+        -d '{"query": "//addresses//street_address"}')
+    case $resp in
+    *'"verdict":"ok"'*) ;;
+    *)
+        echo "smoke: feedback query $i did not succeed: $resp" >&2
+        exit 1
+        ;;
+    esac
+done
+case $resp in
+*'"replanned":true'*) ;;
+*)
+    echo "smoke: third identical query did not report a replan: $resp" >&2
+    exit 1
+    ;;
+esac
+echo "smoke: replan OK (third query reports replanned:true)"
+
+fb=$(curl -sS "http://$addr/feedback")
+n=$(printf %s "$fb" | sed -n 's/.*"n":\([0-9]*\).*/\1/p' | head -1)
+if [ -z "$n" ] || [ "$n" -lt 2 ]; then
+    echo "smoke: /feedback does not show the repeated hash with n >= 2: $fb" >&2
+    exit 1
+fi
+echo "smoke: /feedback OK (repeated query hash has n=$n)"
+
+replans=$(curl -sS "http://$addr/metrics" | sed -n 's/^blossomtree_feedback_replans_total //p')
+if [ -z "$replans" ] || [ "$replans" -lt 1 ]; then
+    echo "smoke: feedback_replans_total missing or zero after a forced-drift replan" >&2
+    exit 1
+fi
+echo "smoke: feedback counter OK (feedback_replans_total=$replans)"
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "smoke: feedback daemon exited $status on SIGTERM" >&2
+    cat "$log3" >&2
+    exit 1
+fi
+echo "smoke: clean shutdown (feedback daemon)"
 echo "smoke: PASS"

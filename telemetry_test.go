@@ -219,3 +219,41 @@ func TestWritePrometheusExposesQueryHistogram(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryLogNavReason: a fragment-outside query must carry its
+// fallback routing reason both on the result and in the query-log
+// record (nav-fallback entries used to omit it, leaving the log unable
+// to say why a query skipped the planner).
+func TestQueryLogNavReason(t *testing.T) {
+	e := newBib(t)
+	var buf bytes.Buffer
+	res, err := e.QueryWith(`//book[contains(title, "Maximum")]`, Options{
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NavReason() == "" {
+		t.Fatal("fragment-outside query has no NavReason")
+	}
+	recs := logLines(t, &buf)
+	if len(recs) != 1 {
+		t.Fatalf("log records = %d, want 1:\n%s", len(recs), buf.String())
+	}
+	r := recs[0]
+	reason, _ := r["nav_reason"].(string)
+	if reason != res.NavReason() {
+		t.Errorf("log nav_reason = %q, result says %q", reason, res.NavReason())
+	}
+
+	// Planned queries must not carry the field at all.
+	buf.Reset()
+	if _, err := e.QueryWith(`//book/title`, Options{
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := logLines(t, &buf)[0]["nav_reason"]; present {
+		t.Error("planned query log record carries nav_reason")
+	}
+}
