@@ -11,6 +11,9 @@
 #   make feedback — feedback-driven planning suite: store invariants,
 #                  divergence→replan→win regression, static-vs-feedback
 #                  comparison (asserts wins ≥ losses)
+#   make persist — persistent segment store suite: codec round-trips,
+#                  crash-safety (torn/bit-flipped segments quarantined),
+#                  restart differential, daemon -data round-trip
 #   make bench   — paper-table + concurrency benchmarks
 #   make qps     — serial vs parallel batch throughput report
 #   make fuzz    — parser fuzz smoke (FUZZTIME per target, default 30s)
@@ -25,7 +28,7 @@ FUZZTIME ?= 30s
 PROPSEED ?= 0xB10550
 PROPCASES ?= 2500
 
-.PHONY: build test vet race check stress chaos smoke bench qps fuzz proptest feedback
+.PHONY: build test vet race check stress chaos smoke bench qps fuzz proptest feedback persist
 
 build:
 	$(GO) build ./...
@@ -43,7 +46,7 @@ race:
 # full suite under the race detector, which exercises the concurrent
 # Add+Eval stress tests against the snapshot engine, plus the
 # cancellation stress pass.
-check: vet race stress chaos smoke proptest feedback
+check: vet race stress chaos smoke proptest feedback persist
 
 # Property-based differential harness: PROPCASES random documents, four
 # random queries each, every join strategy ± parallel ± warm plan cache
@@ -90,6 +93,18 @@ feedback:
 	$(GO) test -race -timeout 120s -count=1 -run 'Feedback' \
 		./internal/exec ./internal/bench
 
+# Persistent segment store: the codec round-trip / crash-safety /
+# eviction unit suite, the hardened storage decode, the restart
+# differential (every strategy, sharded 0..4, byte-identical results
+# across a persist→reopen cycle), and the daemon's -data round-trip
+# (collision refusal, persist on load, serve-from-store on restart).
+persist:
+	$(GO) test -race -timeout 180s ./internal/segstore ./internal/storage
+	$(GO) test -race -timeout 180s -count=1 \
+		-run 'Restart|AttachStore|Persist|Feedback' .
+	$(GO) test -timeout 180s -count=1 \
+		-run 'TestLoadBasenameCollision|TestDataDirRestart' ./cmd/blossomd
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -98,9 +113,12 @@ qps:
 
 # Fuzzing: the parsers must not panic and every accepted input must
 # round-trip through the printer; the compact NestedList form must
-# round-trip losslessly against the pointer form. Seed corpora live
-# under each package's testdata/fuzz directory.
+# round-trip losslessly against the pointer form; the segment bytecode
+# decoder must reject arbitrary corruption with ErrCorrupt, never a
+# panic, and re-encode accepted inputs byte-identically. Seed corpora
+# live under each package's testdata/fuzz directory.
 fuzz:
 	$(GO) test ./internal/xpath -run '^$$' -fuzz FuzzXPathParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/flwor -run '^$$' -fuzz FuzzFLWORParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nestedlist -run '^$$' -fuzz FuzzCompactRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/storage -run '^$$' -fuzz FuzzSegmentRoundTrip -fuzztime $(FUZZTIME)

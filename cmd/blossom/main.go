@@ -44,13 +44,14 @@ func main() {
 		repeat    = flag.Int("repeat", 1, "prepare the query once and run it N times (the prepared-statement path; repeated runs hit the plan cache)")
 		logQuery  = flag.Bool("log", false, "emit the structured query-log record (the daemon's pipeline) to stderr")
 		slow      = flag.Duration("slow-query", 0, "log the query at Warn with its EXPLAIN ANALYZE tree when at/past this latency (implies -log; 0 = off)")
+		dataDir   = flag.String("data", "", "persistent segment store directory: the file persists here and unchanged files are served mmap'd without re-parsing; usable alone to query an existing store")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: blossom -file doc.xml [flags] 'query'\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *file == "" || flag.NArg() != 1 {
+	if (*file == "" && *dataDir == "") || flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -60,8 +61,35 @@ func main() {
 	if *noIndex {
 		eng = blossomtree.NewEngineNoIndexes()
 	}
-	if err := eng.LoadFile(*file, *file); err != nil {
-		fatal(err)
+	var store *blossomtree.SegmentStore
+	if *dataDir != "" {
+		st, err := blossomtree.OpenStore(*dataDir)
+		if err != nil {
+			fatal(fmt.Errorf("-data %s: %v", *dataDir, err))
+		}
+		store = st
+		for _, w := range store.Warnings() {
+			fmt.Fprintln(os.Stderr, "blossom: segment store:", w)
+		}
+	}
+	switch {
+	case *file == "":
+		// Store-only mode: the query's doc("…") URIs resolve against the
+		// persisted catalog.
+	case store != nil && store.UpToDate(*file, *file):
+		// Unchanged since it was persisted: served out of the store.
+	default:
+		if err := eng.LoadFile(*file, *file); err != nil {
+			fatal(err)
+		}
+		if store != nil {
+			if err := eng.PersistFile(store, *file, *file); err != nil {
+				fatal(fmt.Errorf("persist %q: %v", *file, err))
+			}
+		}
+	}
+	if store != nil {
+		eng.AttachStore(store)
 	}
 
 	opts := blossomtree.Options{

@@ -40,6 +40,7 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		qps      = flag.Bool("qps", false, "measure serial vs parallel batch throughput instead of a table")
 		fb       = flag.Bool("feedback", false, "compare static plans vs feedback-driven replans on a skewed corpus")
+		persist  = flag.Bool("persist", false, "compare cold XML parse vs segment-store reopen time-to-first-result per dataset")
 		fbParts  = flag.Int("feedback-parts", 0, "-feedback: top-level part count of the skewed corpus (0 = default)")
 		workers  = flag.Int("workers", 0, "parallel worker count for -qps (0 = all cores)")
 		rounds   = flag.Int("rounds", 20, "suite repetitions per -qps batch")
@@ -78,6 +79,34 @@ func main() {
 			f := &bench.ResultsFile{
 				Config:   bench.ResultsConfig{Seed: *seed, Repeats: *repeats},
 				Feedback: bench.FeedbackResults(rows),
+			}
+			if err := bench.WriteResults(*jsonOut, f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		return
+	}
+
+	if *persist {
+		cfg := bench.PersistConfig{Seed: *seed, TargetNodes: targets, Repeats: *repeats}
+		if *datasets != "" {
+			cfg.Datasets = strings.Split(*datasets, ",")
+		}
+		progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+		if *quiet {
+			progress = nil
+		}
+		rows, err := bench.RunPersistCompare(cfg, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Restart cost: cold XML parse vs persistent segment-store reopen (time to first result)")
+		fmt.Print(bench.FormatPersist(rows))
+		if *jsonOut != "" {
+			f := &bench.ResultsFile{
+				Config:  bench.ResultsConfig{Seed: *seed, Repeats: *repeats, TargetNodes: targets},
+				Persist: bench.PersistResults(rows),
 			}
 			if err := bench.WriteResults(*jsonOut, f); err != nil {
 				fatal(err)

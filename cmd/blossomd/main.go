@@ -72,17 +72,30 @@ func main() {
 		tenantQPS  = flag.Float64("tenant-qps", 0, "admission control: per-tenant token-bucket rate, tenant = X-Tenant header (0 = off)")
 		fbDrift    = flag.Float64("feedback-drift-threshold", 0, "feedback loop: est/act drift ratio at which cached plans replan from history (0 = default 2.0)")
 		fbSamples  = flag.Int64("feedback-min-samples", 0, "feedback loop: observations required before a hash may replan (0 = default 32)")
+		dataDir    = flag.String("data", "", "persistent segment store directory: documents persist here on load and are served mmap'd on restart without re-parsing")
 	)
 	flag.Var(&files, "load", "XML file to serve, registered under its basename as doc(\"…\") URI (repeatable)")
 	flag.Var(&gens, "gen", "synthetic dataset to serve, as id or id:nodes, e.g. d2:5000 (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: blossomd [-addr host:port] -load doc.xml [-load …] [-gen d2:5000]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: blossomd [-addr host:port] -load doc.xml [-load …] [-gen d2:5000] [-data dir]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if len(files) == 0 && len(gens) == 0 {
+	if len(files) == 0 && len(gens) == 0 && *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Every -load file registers under its basename: two paths sharing a
+	// basename would silently shadow each other (and cross-contaminate a
+	// persistent store), so refuse them up front.
+	basenames := map[string]string{}
+	for _, f := range files {
+		uri := filepath.Base(f)
+		if prev, ok := basenames[uri]; ok {
+			fatal(fmt.Errorf("-load %s and -load %s both register doc URI %q; basenames must be unique", prev, f, uri))
+		}
+		basenames[uri] = f
 	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -110,12 +123,38 @@ func main() {
 	case *noIndex:
 		eng = blossomtree.NewEngineNoIndexes()
 	}
+	var store *blossomtree.SegmentStore
+	if *dataDir != "" {
+		st, err := blossomtree.OpenStore(*dataDir)
+		if err != nil {
+			fatal(fmt.Errorf("-data %s: %v", *dataDir, err))
+		}
+		store = st
+		for _, w := range store.Warnings() {
+			logger.Warn("segment store", "warning", w)
+		}
+		if err := store.RestoreFeedback(); err != nil {
+			logger.Warn("segment store", "warning", fmt.Sprintf("feedback restore: %v", err))
+		}
+		logger.Info("segment store opened", "dir", *dataDir, "catalog", store.String())
+	}
+
 	for _, f := range files {
 		uri := filepath.Base(f)
+		if store != nil && store.UpToDate(uri, f) {
+			logger.Info("document served from segment store", "uri", uri, "path", f)
+			continue
+		}
 		if err := eng.LoadFile(uri, f); err != nil {
 			fatal(err)
 		}
 		logger.Info("document loaded", "uri", uri, "path", f)
+		if store != nil {
+			if err := eng.PersistFile(store, uri, f); err != nil {
+				fatal(fmt.Errorf("persist %q: %v", uri, err))
+			}
+			logger.Info("document persisted", "uri", uri, "generation", store.Generation())
+		}
 	}
 	for _, g := range gens {
 		id, nodes := g, 0
@@ -127,12 +166,25 @@ func main() {
 			}
 			nodes = n
 		}
+		if store != nil && store.Has(id) {
+			logger.Info("document served from segment store", "uri", id)
+			continue
+		}
 		doc, err := xmlgen.Generate(id, xmlgen.Config{Seed: *seed, TargetNodes: nodes})
 		if err != nil {
 			fatal(err)
 		}
 		eng.LoadDocument(id, doc)
 		logger.Info("dataset generated", "uri", id, "target_nodes", nodes)
+		if store != nil {
+			if err := eng.PersistDocument(store, id); err != nil {
+				fatal(fmt.Errorf("persist %q: %v", id, err))
+			}
+			logger.Info("document persisted", "uri", id, "generation", store.Generation())
+		}
+	}
+	if store != nil {
+		eng.AttachStore(store)
 	}
 
 	var adm *shard.Admission
@@ -178,6 +230,13 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
+		}
+	}
+	if store != nil {
+		if err := store.PersistFeedback(); err != nil {
+			logger.Warn("segment store", "warning", fmt.Sprintf("feedback persist: %v", err))
+		} else {
+			logger.Info("feedback persisted", "dir", *dataDir)
 		}
 	}
 	logger.Info("bye")

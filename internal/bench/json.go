@@ -34,6 +34,9 @@ type ResultsFile struct {
 	// Feedback holds the static-plan vs feedback-replan comparison rows
 	// of the -feedback mode (schema v3).
 	Feedback []FeedbackResult `json:"feedback,omitempty"`
+	// Persist holds the cold-parse vs segment-store-reopen restart
+	// comparison rows of the -persist mode (schema v4).
+	Persist []PersistResult `json:"persist,omitempty"`
 }
 
 // ResultsConfig records the knobs the run used, for apples-to-apples
@@ -239,13 +242,49 @@ func FeedbackResults(rows []FeedbackRow) []FeedbackResult {
 	return out
 }
 
+// PersistResult is one dataset's cold-parse vs store-reopen row: the
+// time-to-first-result of a fresh engine parsing the XML text against
+// one attaching a reopened segment store.
+type PersistResult struct {
+	Dataset  string `json:"dataset"`
+	Nodes    int64  `json:"nodes"`
+	XMLBytes int64  `json:"xml_bytes"`
+	SegBytes int64  `json:"seg_bytes"`
+	// ColdParseS parses the serialized text and answers the probe query;
+	// ReopenS opens the store (manifest + checksum streams, OpenOnlyS)
+	// then answers the same probe off the mmap'd segment.
+	ColdParseS float64 `json:"cold_parse_s"`
+	OpenOnlyS  float64 `json:"open_only_s"`
+	ReopenS    float64 `json:"reopen_s"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// PersistResults converts persist comparison rows into JSON records.
+func PersistResults(rows []PersistRow) []PersistResult {
+	var out []PersistResult
+	for _, r := range rows {
+		out = append(out, PersistResult{
+			Dataset:    r.Dataset,
+			Nodes:      r.Nodes,
+			XMLBytes:   r.XMLBytes,
+			SegBytes:   r.SegBytes,
+			ColdParseS: r.Cold.Seconds(),
+			OpenOnlyS:  r.OpenOnly.Seconds(),
+			ReopenS:    r.Reopen.Seconds(),
+			Speedup:    r.Speedup,
+		})
+	}
+	return out
+}
+
 // WriteResults marshals a results file (indented, trailing newline) to
 // path.
 func WriteResults(path string, f *ResultsFile) error {
 	// v2 added the VEC system's table3 cells and the vectorized
 	// tuple-vs-columnar comparison section; v3 added the feedback
-	// static-vs-replan comparison section.
-	f.SchemaVersion = 3
+	// static-vs-replan comparison section; v4 added the persist
+	// cold-parse-vs-reopen comparison section.
+	f.SchemaVersion = 4
 	if f.GeneratedAt == "" {
 		f.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	}

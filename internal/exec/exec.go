@@ -28,6 +28,7 @@ import (
 	"blossomtree/internal/nestedlist"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
+	"blossomtree/internal/segstore"
 	"blossomtree/internal/xmltree"
 	"blossomtree/internal/xpath"
 )
@@ -63,6 +64,13 @@ type snapshot struct {
 	stats   map[string]xmltree.Stats
 	indexes map[string]*index.TagIndex
 	first   string
+	// store, when non-nil, serves the URIs in storeURIs lazily out of a
+	// persistent segment directory: a store-backed document is mmap'd
+	// and materialized on first resolution (and LRU-cached inside the
+	// store), so attaching a large catalog costs no parsing up front.
+	// Heap-registered documents (docs) shadow store URIs.
+	store     *segstore.Store
+	storeURIs map[string]struct{}
 	// version identifies this catalog state; it is unique across every
 	// snapshot of the process (engines, Adds, pins), so it keys the plan
 	// cache without an engine identity: a cached plan is reusable exactly
@@ -133,6 +141,8 @@ func (e *Engine) Add(uri string, doc *xmltree.Document) {
 	for k, v := range old.indexes {
 		next.indexes[k] = v
 	}
+	next.store = old.store
+	next.storeURIs = old.storeURIs
 	next.docs[uri] = doc
 	next.stats[uri] = st
 	if ix != nil {
@@ -142,6 +152,75 @@ func (e *Engine) Add(uri string, doc *xmltree.Document) {
 		next.first = uri
 	}
 	e.snap.Store(next)
+}
+
+// AttachStore registers every servable document of a persistent segment
+// store with the engine. Documents are not parsed or decoded here: they
+// materialize lazily (mmap + decode, LRU-cached by the store) on first
+// resolution. Like Add, AttachStore publishes one new snapshot version,
+// so cached plans compiled against the previous catalog invalidate —
+// and the feedback store, keyed by query hash alone, carries over.
+//
+// Heap documents registered under the same URI (before or after) shadow
+// the store's copy.
+func (e *Engine) AttachStore(st *segstore.Store) {
+	e.AttachStoreURIs(st, st.URIs())
+}
+
+// AttachStoreURIs is AttachStore restricted to a subset of the store's
+// URIs — the shard tier attaches one store to every shard, each shard
+// seeing only the URIs the hash ring routed to it.
+func (e *Engine) AttachStoreURIs(st *segstore.Store, uris []string) {
+	obs.Default.Add(obs.MetricDocumentsAdded, int64(len(uris)))
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.snap.Load()
+	next := &snapshot{
+		docs:    old.docs,
+		stats:   old.stats,
+		indexes: old.indexes,
+		first:   old.first,
+		store:   st,
+		version: snapshotVersions.Add(1),
+	}
+	next.storeURIs = make(map[string]struct{}, len(old.storeURIs)+len(uris))
+	if old.store != nil && old.store != st {
+		// Replacing a store drops its URIs; attaching the same store again
+		// (e.g. after more Saves) refreshes the URI set below.
+		next.storeURIs = make(map[string]struct{}, len(uris))
+	} else {
+		for u := range old.storeURIs {
+			next.storeURIs[u] = struct{}{}
+		}
+	}
+	for _, u := range uris {
+		next.storeURIs[u] = struct{}{}
+		if next.first == "" {
+			next.first = u
+		}
+	}
+	e.snap.Store(next)
+}
+
+// Store returns the attached segment store, or nil.
+func (e *Engine) Store() *segstore.Store { return e.snapshot().store }
+
+// URIs returns the sorted URIs of every resolvable document: heap
+// registrations plus store-backed documents.
+func (e *Engine) URIs() []string {
+	s := e.snapshot()
+	out := make([]string, 0, len(s.docs)+len(s.storeURIs))
+	for u := range s.docs {
+		out = append(out, u)
+	}
+	for u := range s.storeURIs {
+		if _, ok := s.docs[u]; !ok {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Document returns the document registered under uri (with the same
@@ -165,16 +244,75 @@ func (e *Engine) resolve(uri string) (*xmltree.Document, error) {
 // are registered, an unknown doc("…") URI is an error rather than a
 // silent alias for the first document.
 func (s *snapshot) resolve(uri string) (*xmltree.Document, error) {
-	if d, ok := s.docs[uri]; ok {
-		return d, nil
+	d, _, _, err := s.resolveFull(uri)
+	return d, err
+}
+
+// resolveFull is resolve carrying the resolved document's index and
+// statistics, so store-backed documents hand planContext the posting
+// lists and stats persisted in their segment instead of rebuilding
+// them. It applies the same fallback rules as resolve.
+func (s *snapshot) resolveFull(uri string) (*xmltree.Document, *index.TagIndex, xmltree.Stats, error) {
+	d, ix, st, ok, err := s.entryFor(uri)
+	if err != nil {
+		return nil, nil, xmltree.Stats{}, err
+	}
+	if ok {
+		return d, ix, st, nil
 	}
 	if s.first == "" {
-		return nil, fmt.Errorf("exec: no document registered for %q", uri)
+		return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: no document registered for %q", uri)
 	}
-	if uri == "" || len(s.docs) == 1 {
-		return s.docs[s.first], nil
+	if uri == "" || s.docCount() == 1 {
+		d, ix, st, _, err := s.entryFor(s.first)
+		if err != nil {
+			return nil, nil, xmltree.Stats{}, err
+		}
+		return d, ix, st, nil
 	}
-	return nil, fmt.Errorf("exec: no document registered for %q (%d documents loaded; doc(\"…\") must name one of them)", uri, len(s.docs))
+	return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: no document registered for %q (%d documents loaded; doc(\"…\") must name one of them)", uri, s.docCount())
+}
+
+// entryFor resolves uri strictly (no fallback): heap registrations
+// first, then the attached segment store, whose documents materialize
+// on demand. ok reports whether the catalog knows the URI at all; a
+// known-but-unreadable store document (quarantined after open) is
+// (ok, err) so the caller surfaces the corruption instead of silently
+// aliasing another document.
+func (s *snapshot) entryFor(uri string) (*xmltree.Document, *index.TagIndex, xmltree.Stats, bool, error) {
+	if d, ok := s.docs[uri]; ok {
+		return d, s.indexes[uri], s.stats[uri], true, nil
+	}
+	if s.store != nil {
+		if _, ok := s.storeURIs[uri]; ok {
+			od, err := s.store.Document(uri)
+			if err != nil {
+				return nil, nil, xmltree.Stats{}, true, fmt.Errorf("exec: store document %q: %w", uri, err)
+			}
+			return od.Doc, od.Index, od.Stats, true, nil
+		}
+	}
+	return nil, nil, xmltree.Stats{}, false, nil
+}
+
+// has reports whether the catalog can resolve uri without fallback.
+func (s *snapshot) has(uri string) bool {
+	if _, ok := s.docs[uri]; ok {
+		return true
+	}
+	_, ok := s.storeURIs[uri]
+	return ok
+}
+
+// docCount counts distinct resolvable documents (heap + store).
+func (s *snapshot) docCount() int {
+	n := len(s.docs)
+	for u := range s.storeURIs {
+		if _, ok := s.docs[u]; !ok {
+			n++
+		}
+	}
+	return n
 }
 
 // Result is the outcome of a query evaluation.
@@ -269,7 +407,7 @@ func (e *Engine) EvalExpr(expr flwor.Expr, opts plan.Options) (*Result, error) {
 // even when a shard's local catalog has a different first document.
 func (e *Engine) EvalDocOptions(uri, src string, opts plan.Options) (*Result, error) {
 	snap := e.snapshot()
-	if _, ok := snap.docs[uri]; !ok {
+	if !snap.has(uri) {
 		return nil, fmt.Errorf("exec: no document registered for %q", uri)
 	}
 	return evalSource(snap.pin(uri), src, opts)
@@ -468,7 +606,7 @@ func (e *Engine) ExplainOptions(src string, opts plan.Options) (string, error) {
 // registered document uri (the shard tier's explain routing).
 func (e *Engine) ExplainDocOptions(uri, src string, opts plan.Options) (string, error) {
 	snap := e.snapshot()
-	if _, ok := snap.docs[uri]; !ok {
+	if !snap.has(uri) {
 		return "", fmt.Errorf("exec: no document registered for %q", uri)
 	}
 	return explainSnapshot(snap.pin(uri), src, opts)
@@ -511,7 +649,7 @@ func (e *Engine) ExplainAnalyzeOptions(src string, opts plan.Options) (string, e
 // pinned to the registered document uri.
 func (e *Engine) ExplainAnalyzeDocOptions(uri, src string, opts plan.Options) (string, error) {
 	snap := e.snapshot()
-	if _, ok := snap.docs[uri]; !ok {
+	if !snap.has(uri) {
 		return "", fmt.Errorf("exec: no document registered for %q", uri)
 	}
 	return explainAnalyzeSnapshot(snap.pin(uri), src, opts)
@@ -618,30 +756,27 @@ func compile(expr flwor.Expr) (*core.Query, bool, *xpath.Step, error) {
 // likewise correlates paths over one input document).
 func (s *snapshot) planContext(q *core.Query) (*xmltree.Document, *index.TagIndex, xmltree.Stats, error) {
 	var doc *xmltree.Document
+	var ix *index.TagIndex
+	var st xmltree.Stats
 	var uri string
 	for u := range q.Tree.Docs {
-		d, err := s.resolve(u)
+		d, dix, dst, err := s.resolveFull(u)
 		if err != nil {
 			return nil, nil, xmltree.Stats{}, err
 		}
 		if doc != nil && d != doc {
 			return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: query spans multiple documents (%q, %q); evaluate per document", uri, u)
 		}
-		doc, uri = d, u
+		doc, ix, st, uri = d, dix, dst, u
 	}
 	if doc == nil {
 		return nil, nil, xmltree.Stats{}, fmt.Errorf("exec: query references no document")
 	}
-	ix := s.indexes[uri]
-	if ix == nil {
-		ix = s.indexes[s.first]
-	}
+	// resolveFull hands back the index of the resolved entry itself
+	// (heap or store), so index and document always agree; the guard
+	// stays for the BuildIndexes=false case, where ix is nil anyway.
 	if ix != nil && ix.Document() != doc {
 		ix = nil
-	}
-	st := s.stats[uri]
-	if st.Nodes == 0 {
-		st = s.stats[s.first]
 	}
 	return doc, ix, st, nil
 }

@@ -65,9 +65,14 @@ func (e *Engine) EvalAllDocs(src string, opts plan.Options, workers int) ([]DocR
 		return nil, err
 	}
 	snap := e.snapshot()
-	uris := make([]string, 0, len(snap.docs))
+	uris := make([]string, 0, len(snap.docs)+len(snap.storeURIs))
 	for u := range snap.docs {
 		uris = append(uris, u)
+	}
+	for u := range snap.storeURIs {
+		if _, ok := snap.docs[u]; !ok {
+			uris = append(uris, u)
+		}
 	}
 	sort.Strings(uris)
 	out := make([]DocResult, len(uris))
@@ -109,13 +114,23 @@ func (s *snapshot) pin(uri string) *snapshot {
 	}
 	p := &snapshot{
 		version: snapshotVersions.Add(1),
-		docs:    map[string]*xmltree.Document{uri: s.docs[uri]},
-		stats:   map[string]xmltree.Stats{uri: s.stats[uri]},
+		docs:    map[string]*xmltree.Document{},
+		stats:   map[string]xmltree.Stats{},
 		indexes: map[string]*index.TagIndex{},
 		first:   uri,
 	}
-	if ix, ok := s.indexes[uri]; ok {
-		p.indexes[uri] = ix
+	if d, ok := s.docs[uri]; ok {
+		p.docs[uri] = d
+		p.stats[uri] = s.stats[uri]
+		if ix, ok := s.indexes[uri]; ok {
+			p.indexes[uri] = ix
+		}
+	} else if s.store != nil {
+		// A store-backed document pins lazily too: the derived snapshot
+		// carries the store with just this URI visible, so the document
+		// only materializes if the pinned evaluation actually runs.
+		p.store = s.store
+		p.storeURIs = map[string]struct{}{uri: {}}
 	}
 	if s.pinned == nil {
 		s.pinned = make(map[string]*snapshot)

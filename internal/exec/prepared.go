@@ -37,7 +37,7 @@ func (e *Engine) Prepare(src string, opts plan.Options) (*Prepared, error) {
 	// Navigational evaluation never builds a physical plan, and a
 	// catalog without documents has nothing to plan against yet — both
 	// defer compilation to Run.
-	if opts.Strategy != plan.Navigational && len(e.snapshot().docs) > 0 {
+	if opts.Strategy != plan.Navigational && e.snapshot().docCount() > 0 {
 		if _, _, err := compiledFor(e.snapshot(), expr, src, opts); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,124 @@
+package feedback
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+)
+
+// The persisted forms mirror the in-memory history cells field for
+// field, so a daemon restart restores the estimate→actual loop exactly
+// where it left off: EWMAs keep converging instead of restarting cold,
+// armed replans keep their pending judgement, and the MinSamples gate
+// doesn't re-open on queries that already earned a replan.
+
+type persistedOp struct {
+	EstOut   float64   `json:"est_out"`
+	EstNodes float64   `json:"est_nodes"`
+	OutEWMA  float64   `json:"out_ewma"`
+	ScanEWMA float64   `json:"scan_ewma"`
+	N        int64     `json:"n"`
+	Ring     []float64 `json:"ring,omitempty"`
+}
+
+type persistedHistory struct {
+	Hash     string                 `json:"hash"`
+	Strategy string                 `json:"strategy,omitempty"`
+	N        int64                  `json:"n"`
+	LatEWMA  float64                `json:"lat_ewma"`
+	Ops      map[string]persistedOp `json:"ops,omitempty"`
+
+	Replanned    bool    `json:"replanned,omitempty"`
+	Replans      int64   `json:"replans,omitempty"`
+	LastReplanN  int64   `json:"last_replan_n,omitempty"`
+	PreReplanLat float64 `json:"pre_replan_lat,omitempty"`
+	PostN        int     `json:"post_n,omitempty"`
+	PostSum      float64 `json:"post_sum,omitempty"`
+	Judged       bool    `json:"judged,omitempty"`
+	Won          bool    `json:"won,omitempty"`
+}
+
+type persistedStore struct {
+	Version int `json:"version"`
+	// Entries are in recency order, most recently observed first, so a
+	// restored store evicts in the same order the live one would have.
+	Entries []persistedHistory `json:"entries"`
+}
+
+const persistVersion = 1
+
+// Export serializes the store's full history as JSON (the segment
+// store's feedback.json payload).
+func (s *Store) Export() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := persistedStore{Version: persistVersion}
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		h := el.Value.(*history)
+		ph := persistedHistory{
+			Hash: h.hash, Strategy: h.strategy, N: h.n, LatEWMA: h.latEWMA,
+			Replanned: h.replanned, Replans: h.replans, LastReplanN: h.lastReplanN,
+			PreReplanLat: h.preReplanLat, PostN: h.postN, PostSum: h.postSum,
+			Judged: h.judged, Won: h.won,
+		}
+		if len(h.ops) > 0 {
+			ph.Ops = make(map[string]persistedOp, len(h.ops))
+			for key, o := range h.ops {
+				ph.Ops[key] = persistedOp{
+					EstOut: o.estOut, EstNodes: o.estNodes,
+					OutEWMA: o.outEWMA, ScanEWMA: o.scanEWMA,
+					N: o.n, Ring: append([]float64(nil), o.ring...),
+				}
+			}
+		}
+		p.Entries = append(p.Entries, ph)
+	}
+	return json.MarshalIndent(p, "", " ")
+}
+
+// Import replaces the store's history with a previously Exported
+// snapshot. Entries past the MaxQueries bound are dropped from the
+// least-recent end, as live eviction would have done.
+func (s *Store) Import(data []byte) error {
+	var p persistedStore
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("feedback: import: %w", err)
+	}
+	if p.Version != persistVersion {
+		return fmt.Errorf("feedback: import: unsupported version %d", p.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*history, len(p.Entries))
+	s.order = list.New()
+	for _, ph := range p.Entries {
+		if ph.Hash == "" || len(s.entries) >= s.cfg.MaxQueries {
+			continue
+		}
+		if _, dup := s.entries[ph.Hash]; dup {
+			continue
+		}
+		h := &history{
+			hash: ph.Hash, strategy: ph.Strategy, n: ph.N, latEWMA: ph.LatEWMA,
+			ops:       make(map[string]*opHistory, len(ph.Ops)),
+			replanned: ph.Replanned, replans: ph.Replans, lastReplanN: ph.LastReplanN,
+			preReplanLat: ph.PreReplanLat, postN: ph.PostN, postSum: ph.PostSum,
+			judged: ph.Judged, won: ph.Won,
+		}
+		for key, po := range ph.Ops {
+			ring := po.Ring
+			if len(ring) > s.cfg.RingSize {
+				ring = ring[len(ring)-s.cfg.RingSize:]
+			}
+			h.ops[key] = &opHistory{
+				estOut: po.EstOut, estNodes: po.EstNodes,
+				outEWMA: po.OutEWMA, scanEWMA: po.ScanEWMA,
+				n: po.N, ring: append([]float64(nil), ring...),
+			}
+		}
+		// Entries arrive most-recent first; PushBack reproduces the order.
+		h.elem = s.order.PushBack(h)
+		s.entries[ph.Hash] = h
+	}
+	return nil
+}

@@ -1,0 +1,559 @@
+// Segment file format (one file per document, all integers
+// little-endian):
+//
+//	[0,8)    magic "BSEGF1\n\x00"
+//	[8,12)   u32 format version (currently 1)
+//	[12,16)  u32 section count
+//	[16,…)   section directory: count × { u32 id, u32 reserved,
+//	         u64 offset, u64 length } (24 bytes each)
+//	…        section payloads, each padded to 8-byte alignment so the
+//	         u32 column arrays inside are naturally aligned when the
+//	         file is memory-mapped
+//	[EOF-16) footer: "BSGE", u32 crc32c(file[0 : size-16]), u64 size
+//
+// Sections:
+//
+//	meta (1)     JSON: URI, segment generation, document statistics
+//	             (the planner's inputs, available without materializing)
+//	topo (2)     the succinct topology bytecode — a verbatim
+//	             storage.Segment (dedup tag table + preorder
+//	             open/text/close bytecode)
+//	elem (3)     u32 count, u32 pad, then start[count], end[count],
+//	             level[count] as u32 arrays: the region labels of every
+//	             element in document order (the "*" wildcard ColumnSet,
+//	             served zero-copy off the mapping)
+//	csr (4)      u32 count, u32 nChildren, offsets[count+1],
+//	             children[nChildren]: the Figure-6 CSR child-offset
+//	             layout over element ordinals — element i's child
+//	             elements are children[offsets[i]:offsets[i+1]], used as
+//	             a structural integrity check on open and shareable by
+//	             future out-of-process readers
+//	post (5)     u32 nLists, then per list: u32 tagID (into the topo
+//	             tag table), u32 count, ordinals[count], start[count],
+//	             end[count], level[count]: the per-tag posting lists as
+//	             region-label triples in document order — directly
+//	             servable as index.ColumnSet backing without copying
+//
+// The whole-file crc32c (Castagnoli) in the footer is what OpenDir
+// verifies before a segment is ever served, so a torn or bit-flipped
+// write is quarantined instead of decoded.
+package segstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+
+	"blossomtree/internal/index"
+	"blossomtree/internal/storage"
+	"blossomtree/internal/xmltree"
+)
+
+// ErrCorrupt is wrapped by every segment-file decode error; it also
+// wraps storage.ErrCorrupt failures bubbling up from the topology
+// bytecode.
+var ErrCorrupt = errors.New("corrupt segment file")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("segstore: "+format+": %w", append(args, ErrCorrupt)...)
+}
+
+var (
+	fileMagic   = []byte("BSEGF1\n\x00")
+	footerMagic = []byte("BSGE")
+)
+
+const (
+	formatVersion = 1
+	headerSize    = 16
+	dirEntSize    = 24
+	footerSize    = 16
+
+	secMeta = 1
+	secTopo = 2
+	secElem = 3
+	secCSR  = 4
+	secPost = 5
+)
+
+// castagnoli is the CRC-32C table used for every file checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segMeta is the JSON meta section: everything the catalog needs
+// without touching the document itself.
+type segMeta struct {
+	URI        string        `json:"uri"`
+	Generation uint64        `json:"generation"`
+	Stats      xmltree.Stats `json:"stats"`
+}
+
+// sectionWriter accumulates aligned sections and assembles the final
+// file image.
+type sectionWriter struct {
+	ids      []uint32
+	payloads [][]byte
+}
+
+func (w *sectionWriter) add(id uint32, payload []byte) {
+	w.ids = append(w.ids, id)
+	w.payloads = append(w.payloads, payload)
+}
+
+func pad8(n int) int { return (8 - n%8) % 8 }
+
+func (w *sectionWriter) finish() []byte {
+	off := headerSize + dirEntSize*len(w.ids)
+	off += pad8(off)
+	size := off
+	offsets := make([]int, len(w.payloads))
+	for i, p := range w.payloads {
+		offsets[i] = size
+		size += len(p) + pad8(len(p))
+	}
+	size += footerSize
+
+	out := make([]byte, size)
+	copy(out, fileMagic)
+	binary.LittleEndian.PutUint32(out[8:], formatVersion)
+	binary.LittleEndian.PutUint32(out[12:], uint32(len(w.ids)))
+	for i := range w.ids {
+		d := out[headerSize+i*dirEntSize:]
+		binary.LittleEndian.PutUint32(d, w.ids[i])
+		binary.LittleEndian.PutUint64(d[8:], uint64(offsets[i]))
+		binary.LittleEndian.PutUint64(d[16:], uint64(len(w.payloads[i])))
+	}
+	for i, p := range w.payloads {
+		copy(out[offsets[i]:], p)
+	}
+	foot := out[size-footerSize:]
+	copy(foot, footerMagic)
+	binary.LittleEndian.PutUint32(foot[4:], crc32.Checksum(out[:size-footerSize], castagnoli))
+	binary.LittleEndian.PutUint64(foot[8:], uint64(size))
+	return out
+}
+
+// u32Writer appends little-endian u32 values to a byte slice.
+func appendU32(b []byte, vs ...uint32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+func appendU32Slice(b []byte, vs []uint32) []byte {
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+// encodeSegmentFile renders one document as a self-contained segment
+// file image: meta + topology bytecode + element region columns + CSR
+// child offsets + per-tag posting triples, checksummed.
+func encodeSegmentFile(uri string, generation uint64, doc *xmltree.Document, stats xmltree.Stats) ([]byte, error) {
+	topo := storage.Encode(doc)
+	topoBytes, err := topo.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+
+	meta, err := json.Marshal(segMeta{URI: uri, Generation: generation, Stats: stats})
+	if err != nil {
+		return nil, err
+	}
+
+	// Element columns + ordinals in document order.
+	var elements []*xmltree.Node
+	ordinal := make(map[*xmltree.Node]int)
+	xmltree.Elements(doc.Root, func(n *xmltree.Node) {
+		ordinal[n] = len(elements)
+		elements = append(elements, n)
+	})
+	n := len(elements)
+	elem := make([]byte, 0, 8+12*n)
+	elem = appendU32(elem, uint32(n), 0)
+	for _, e := range elements {
+		elem = appendU32(elem, uint32(e.Start))
+	}
+	for _, e := range elements {
+		elem = appendU32(elem, uint32(e.End))
+	}
+	for _, e := range elements {
+		elem = appendU32(elem, uint32(e.Level))
+	}
+
+	// CSR child offsets over element ordinals.
+	offsets := make([]uint32, n+1)
+	var children []uint32
+	for i, e := range elements {
+		offsets[i] = uint32(len(children))
+		for c := e.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind == xmltree.ElementNode {
+				children = append(children, uint32(ordinal[c]))
+			}
+		}
+		_ = i
+	}
+	offsets[n] = uint32(len(children))
+	csr := make([]byte, 0, 8+4*(n+1)+4*len(children))
+	csr = appendU32(csr, uint32(n), uint32(len(children)))
+	csr = appendU32Slice(csr, offsets)
+	csr = appendU32Slice(csr, children)
+
+	// Per-tag posting lists, in tag-table order (deterministic output).
+	tagID := make(map[string]uint32, len(topo.Tags()))
+	for id, t := range topo.Tags() {
+		if _, ok := tagID[t]; !ok {
+			tagID[t] = uint32(id)
+		}
+	}
+	perTag := make(map[string][]uint32)
+	for i, e := range elements {
+		perTag[e.Tag] = append(perTag[e.Tag], uint32(i))
+	}
+	post := appendU32(nil, 0) // list count, patched below
+	lists := 0
+	for id, t := range topo.Tags() {
+		ords, ok := perTag[t]
+		if !ok || tagID[t] != uint32(id) {
+			// Attribute-only names have no postings; a duplicate table
+			// entry (cannot happen with the current interner, but cheap to
+			// guard) is emitted once under its first id.
+			continue
+		}
+		lists++
+		post = appendU32(post, uint32(id), uint32(len(ords)))
+		post = appendU32Slice(post, ords)
+		for _, o := range ords {
+			post = appendU32(post, uint32(elements[o].Start))
+		}
+		for _, o := range ords {
+			post = appendU32(post, uint32(elements[o].End))
+		}
+		for _, o := range ords {
+			post = appendU32(post, uint32(elements[o].Level))
+		}
+	}
+	binary.LittleEndian.PutUint32(post, uint32(lists))
+
+	var w sectionWriter
+	w.add(secMeta, meta)
+	w.add(secTopo, topoBytes)
+	w.add(secElem, elem)
+	w.add(secCSR, csr)
+	w.add(secPost, post)
+	return w.finish(), nil
+}
+
+// segFile is a structurally validated view over a segment file's bytes
+// (typically an mmap'd region).
+type segFile struct {
+	data     []byte
+	sections map[uint32][]byte
+}
+
+// openSegFile validates the framing of data — magic, version, footer
+// size field, directory bounds — and indexes the sections. It does NOT
+// verify the checksum (that would fault in every page); OpenDir streams
+// the CRC from disk before a segment is ever admitted.
+func openSegFile(data []byte) (*segFile, error) {
+	if len(data) < headerSize+footerSize || string(data[:8]) != string(fileMagic) {
+		return nil, corruptf("bad magic or truncated header")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != formatVersion {
+		return nil, corruptf("unsupported format version %d", v)
+	}
+	foot := data[len(data)-footerSize:]
+	if string(foot[:4]) != string(footerMagic) {
+		return nil, corruptf("bad footer magic (torn write?)")
+	}
+	if sz := binary.LittleEndian.Uint64(foot[8:]); sz != uint64(len(data)) {
+		return nil, corruptf("footer size %d != file size %d (truncated)", sz, len(data))
+	}
+	count := binary.LittleEndian.Uint32(data[12:])
+	if uint64(count) > uint64(len(data)-headerSize-footerSize)/dirEntSize {
+		return nil, corruptf("section count %d exceeds file", count)
+	}
+	f := &segFile{data: data, sections: make(map[uint32][]byte, count)}
+	for i := 0; i < int(count); i++ {
+		d := data[headerSize+i*dirEntSize:]
+		id := binary.LittleEndian.Uint32(d)
+		off := binary.LittleEndian.Uint64(d[8:])
+		length := binary.LittleEndian.Uint64(d[16:])
+		if off > uint64(len(data)-footerSize) || length > uint64(len(data)-footerSize)-off {
+			return nil, corruptf("section %d out of bounds", id)
+		}
+		f.sections[id] = data[off : off+length : off+length]
+	}
+	return f, nil
+}
+
+// verifyChecksum recomputes the footer CRC over data. Used by tests and
+// by callers holding the full image in memory; OpenDir uses the
+// streaming equivalent so it never materializes a segment to verify it.
+func verifyChecksum(data []byte) error {
+	if len(data) < footerSize {
+		return corruptf("file shorter than footer")
+	}
+	foot := data[len(data)-footerSize:]
+	want := binary.LittleEndian.Uint32(foot[4:])
+	if got := crc32.Checksum(data[:len(data)-footerSize], castagnoli); got != want {
+		return corruptf("checksum mismatch: file %08x, computed %08x", want, got)
+	}
+	return nil
+}
+
+func (f *segFile) section(id uint32) ([]byte, error) {
+	s, ok := f.sections[id]
+	if !ok {
+		return nil, corruptf("missing section %d", id)
+	}
+	return s, nil
+}
+
+// hostLittleEndian reports whether u32 arrays can be aliased in place.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// u32view returns n uint32 values starting at byte offset off of b —
+// zero-copy on little-endian hosts when the offset is 4-aligned, a
+// decoded copy otherwise. The bool reports whether the result aliases b.
+func u32view(b []byte, off, n int) ([]uint32, bool, error) {
+	if n == 0 {
+		return nil, false, nil
+	}
+	if off < 0 || n < 0 || off+4*n > len(b) || off+4*n < off {
+		return nil, false, corruptf("u32 array [%d,+%d) out of bounds", off, n)
+	}
+	if hostLittleEndian && (off%4 == 0) && uintptr(unsafe.Pointer(&b[off]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[off])), n), true, nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[off+4*i:])
+	}
+	return out, false, nil
+}
+
+// decodeMeta parses the meta section.
+func (f *segFile) decodeMeta() (segMeta, error) {
+	sec, err := f.section(secMeta)
+	if err != nil {
+		return segMeta{}, err
+	}
+	var m segMeta
+	if err := json.Unmarshal(sec, &m); err != nil {
+		return segMeta{}, corruptf("meta: %v", err)
+	}
+	return m, nil
+}
+
+// materialized is a fully opened segment: the decoded labeled tree, the
+// tag index wired to the segment's posting lists, and the statistics
+// saved at encode time.
+type materialized struct {
+	doc   *xmltree.Document
+	ix    *index.TagIndex
+	stats xmltree.Stats
+	// backing pins the mapped region every zero-copy column aliases.
+	backing *mapping
+}
+
+// materializeSegFile decodes the tree from the topology bytecode,
+// cross-checks it against the element columns and the CSR child
+// offsets, and wires the posting lists into a TagIndex whose ColumnSets
+// alias the mapping without copying.
+func materializeSegFile(f *segFile, backing *mapping) (*materialized, error) {
+	meta, err := f.decodeMeta()
+	if err != nil {
+		return nil, err
+	}
+	topoSec, err := f.section(secTopo)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := storage.View(topoSec)
+	if err != nil {
+		return nil, corruptf("topology: %v", err)
+	}
+	doc, err := topo.Decode()
+	if err != nil {
+		return nil, corruptf("topology decode: %v", err)
+	}
+	doc.Name = meta.URI
+	if meta.Stats.Bytes > 0 {
+		doc.Bytes = meta.Stats.Bytes
+	}
+
+	// Element columns: the decoded tree must reproduce them exactly —
+	// labels are deterministic, so any disagreement means the sections
+	// are inconsistent with each other.
+	elemSec, err := f.section(secElem)
+	if err != nil {
+		return nil, err
+	}
+	if len(elemSec) < 8 {
+		return nil, corruptf("elem section truncated")
+	}
+	nElem := int(binary.LittleEndian.Uint32(elemSec))
+	starts, _, err := u32view(elemSec, 8, nElem)
+	if err != nil {
+		return nil, err
+	}
+	ends, _, err := u32view(elemSec, 8+4*nElem, nElem)
+	if err != nil {
+		return nil, err
+	}
+	levels, _, err := u32view(elemSec, 8+8*nElem, nElem)
+	if err != nil {
+		return nil, err
+	}
+	var elements []*xmltree.Node
+	xmltree.Elements(doc.Root, func(n *xmltree.Node) { elements = append(elements, n) })
+	if len(elements) != nElem {
+		return nil, corruptf("element count %d, columns say %d", len(elements), nElem)
+	}
+	for i, e := range elements {
+		if uint32(e.Start) != starts[i] || uint32(e.End) != ends[i] || uint32(e.Level) != levels[i] {
+			return nil, corruptf("element column %d disagrees with decoded tree", i)
+		}
+	}
+
+	// CSR structural check: element i's child elements, by ordinal.
+	csrSec, err := f.section(secCSR)
+	if err != nil {
+		return nil, err
+	}
+	if len(csrSec) < 8 {
+		return nil, corruptf("csr section truncated")
+	}
+	if int(binary.LittleEndian.Uint32(csrSec)) != nElem {
+		return nil, corruptf("csr element count mismatch")
+	}
+	nChildren := int(binary.LittleEndian.Uint32(csrSec[4:]))
+	offsets, _, err := u32view(csrSec, 8, nElem+1)
+	if err != nil {
+		return nil, err
+	}
+	children, _, err := u32view(csrSec, 8+4*(nElem+1), nChildren)
+	if err != nil {
+		return nil, err
+	}
+	ordinal := make(map[*xmltree.Node]uint32, nElem)
+	for i, e := range elements {
+		ordinal[e] = uint32(i)
+	}
+	for i, e := range elements {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi || int(hi) > nChildren {
+			return nil, corruptf("csr offsets of element %d out of range", i)
+		}
+		k := lo
+		for c := e.FirstChild; c != nil; c = c.NextSibling {
+			if c.Kind != xmltree.ElementNode {
+				continue
+			}
+			if k >= hi || children[k] != ordinal[c] {
+				return nil, corruptf("csr children of element %d disagree with tree", i)
+			}
+			k++
+		}
+		if k != hi {
+			return nil, corruptf("csr group of element %d has %d extra entries", i, hi-k)
+		}
+	}
+
+	// Posting lists → inverted lists + zero-copy ColumnSets.
+	postSec, err := f.section(secPost)
+	if err != nil {
+		return nil, err
+	}
+	if len(postSec) < 4 {
+		return nil, corruptf("post section truncated")
+	}
+	nLists := int(binary.LittleEndian.Uint32(postSec))
+	tags := topo.Tags()
+	lists := make(map[string][]*xmltree.Node, nLists)
+	cols := make(map[string]*ColumnSetRaw, nLists)
+	pos := 4
+	for li := 0; li < nLists; li++ {
+		if pos+8 > len(postSec) {
+			return nil, corruptf("posting list %d truncated", li)
+		}
+		tagID := binary.LittleEndian.Uint32(postSec[pos:])
+		count := int(binary.LittleEndian.Uint32(postSec[pos+4:]))
+		pos += 8
+		if tagID >= uint32(len(tags)) {
+			return nil, corruptf("posting list %d names tag %d of %d", li, tagID, len(tags))
+		}
+		ords, _, err := u32view(postSec, pos, count)
+		if err != nil {
+			return nil, err
+		}
+		pos += 4 * count
+		pStart, _, err := u32view(postSec, pos, count)
+		if err != nil {
+			return nil, err
+		}
+		pos += 4 * count
+		pEnd, _, err := u32view(postSec, pos, count)
+		if err != nil {
+			return nil, err
+		}
+		pos += 4 * count
+		pLevel, _, err := u32view(postSec, pos, count)
+		if err != nil {
+			return nil, err
+		}
+		pos += 4 * count
+		tag := tags[tagID]
+		nodes := make([]*xmltree.Node, count)
+		for i, o := range ords {
+			if int(o) >= nElem {
+				return nil, corruptf("posting for %q references element %d of %d", tag, o, nElem)
+			}
+			n := elements[o]
+			if n.Tag != tag || uint32(n.Start) != pStart[i] {
+				return nil, corruptf("posting for %q row %d disagrees with tree", tag, i)
+			}
+			nodes[i] = n
+		}
+		lists[tag] = nodes
+		cols[tag] = &ColumnSetRaw{Start: pStart, End: pEnd, Level: pLevel, Nodes: nodes}
+	}
+	if len(lists) != countTags(elements) {
+		return nil, corruptf("%d posting lists for %d element tags", len(lists), countTags(elements))
+	}
+
+	ixCols := make(map[string]*index.ColumnSet, len(cols)+1)
+	for tag, c := range cols {
+		ixCols[tag] = index.NewColumnSet(c.Start, c.End, c.Level, c.Nodes, backing)
+	}
+	ixCols["*"] = index.NewColumnSet(starts, ends, levels, elements, backing)
+	ix := index.FromColumns(doc, elements, lists, ixCols)
+
+	stats := meta.Stats
+	if stats.TagCounts == nil {
+		stats.TagCounts = map[string]int{}
+	}
+	return &materialized{doc: doc, ix: ix, stats: stats, backing: backing}, nil
+}
+
+// ColumnSetRaw is an intermediate posting-list view during materialize.
+type ColumnSetRaw struct {
+	Start, End, Level []uint32
+	Nodes             []*xmltree.Node
+}
+
+func countTags(elements []*xmltree.Node) int {
+	seen := make(map[string]struct{})
+	for _, e := range elements {
+		seen[e.Tag] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package segstore
+
+import "os"
+
+// mmapFile on platforms without a usable mmap syscall reads the whole
+// file; the store behaves identically, minus demand paging.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package segstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned slice aliases
+// the page cache: reads fault pages in on demand, so opening a segment
+// costs no I/O until its bytes are actually touched.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to a plain read (some filesystems refuse mmap); the
+		// store still works, just without demand paging.
+		buf := make([]byte, size)
+		if _, rerr := f.ReadAt(buf, 0); rerr != nil {
+			return nil, false, rerr
+		}
+		return buf, false, nil
+	}
+	return data, true, nil
+}
+
+func munmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -13,6 +13,7 @@ import (
 	"blossomtree/internal/gov"
 	"blossomtree/internal/obs"
 	"blossomtree/internal/plan"
+	"blossomtree/internal/segstore"
 	"blossomtree/internal/xmltree"
 )
 
@@ -116,6 +117,33 @@ func (g *Group) Add(uri string, doc *xmltree.Document) int {
 	g.mu.Unlock()
 	g.shards[si].Add(uri, doc)
 	return si
+}
+
+// AttachStore routes every servable document of a persistent segment
+// store to its ring-owned shard: each shard engine attaches the same
+// store restricted to the URI subset the consistent hash assigned it,
+// so a store reopened after a restart reproduces the exact document
+// placement the original Load produced (ring assignment depends only on
+// the URI and the shard count). Documents stay lazy — a shard
+// materializes a document only when a query first touches it.
+func (g *Group) AttachStore(st *segstore.Store) {
+	per := make([][]string, len(g.shards))
+	g.mu.Lock()
+	for _, uri := range st.URIs() {
+		si, ok := g.uris[uri]
+		if !ok {
+			si = g.ring.shardOf(uri)
+			g.uris[uri] = si
+			g.order = append(g.order, uri)
+		}
+		per[si] = append(per[si], uri)
+	}
+	g.mu.Unlock()
+	for si, uris := range per {
+		if len(uris) > 0 {
+			g.shards[si].AttachStoreURIs(st, uris)
+		}
+	}
 }
 
 // Document returns the document registered under uri, applying the

@@ -12,14 +12,33 @@
 // The segment can be scanned without materializing the tree (Scan), or
 // decoded back into a fully labeled xmltree.Document (Decode). Segments
 // marshal to a self-contained binary format.
+//
+// The decoder trusts nothing: every varint-coded length and id is
+// bounds-checked against the remaining input in uint64 space before any
+// allocation or slice, so corrupt or adversarial segments (including the
+// persistent segment-store files that arrive via mmap) fail with an
+// error wrapping ErrCorrupt instead of over-allocating or panicking.
+// FuzzSegmentRoundTrip exercises exactly this contract.
 package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"blossomtree/internal/xmltree"
 )
+
+// ErrCorrupt is wrapped by every decode error: the input is not a valid
+// segment (bad magic, truncated varint, out-of-range id, or a length
+// that exceeds the remaining input). Callers branch with errors.Is to
+// distinguish corruption from I/O failures.
+var ErrCorrupt = errors.New("corrupt segment")
+
+// corruptf builds a decode error wrapping ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("storage: "+format+": %w", append(args, ErrCorrupt)...)
+}
 
 // Opcodes of the topology bytecode.
 const (
@@ -92,6 +111,10 @@ func (s *Segment) Size() int {
 // Nodes returns the number of element and text nodes in the segment.
 func (s *Segment) Nodes() int { return s.nodes }
 
+// Tags returns the deduplicated tag/attribute-name table. The returned
+// slice is shared; callers must not modify it.
+func (s *Segment) Tags() []string { return s.tags }
+
 // EventKind discriminates scan events.
 type EventKind uint8
 
@@ -113,35 +136,43 @@ type Event struct {
 
 // Scan replays the document in document order without building a tree:
 // the single-scan access method of the NoK operator. The visitor returns
-// false to stop early. Scan reports any corruption it encounters.
+// false to stop early. Scan reports any corruption it encounters (the
+// error wraps ErrCorrupt).
 func (s *Segment) Scan(visit func(Event) bool) error {
 	pos := 0
 	depth := 0
+	// remaining returns the bytes left after pos; every length read from
+	// the bytecode is validated against it in uint64 space before it is
+	// converted to int, so a huge varint can neither wrap negative nor
+	// drive an over-allocation.
 	for pos < len(s.code) {
 		op := s.code[pos]
 		pos++
 		switch op {
 		case opOpen:
 			tagID, n := binary.Uvarint(s.code[pos:])
-			if n <= 0 || int(tagID) >= len(s.tags) {
-				return fmt.Errorf("storage: bad tag id at %d", pos)
+			if n <= 0 || tagID >= uint64(len(s.tags)) {
+				return corruptf("bad tag id at %d", pos)
 			}
 			pos += n
 			nattrs, n := binary.Uvarint(s.code[pos:])
-			if n <= 0 {
-				return fmt.Errorf("storage: bad attr count at %d", pos)
+			// Each attribute costs at least two bytes (name id + value
+			// length), so an attr count past the remaining bytes is corrupt
+			// regardless of what follows.
+			if n <= 0 || nattrs > uint64(len(s.code)-pos) {
+				return corruptf("bad attr count at %d", pos)
 			}
 			pos += n
 			var attrs []xmltree.Attr
 			for i := uint64(0); i < nattrs; i++ {
 				nameID, n := binary.Uvarint(s.code[pos:])
-				if n <= 0 || int(nameID) >= len(s.tags) {
-					return fmt.Errorf("storage: bad attr name at %d", pos)
+				if n <= 0 || nameID >= uint64(len(s.tags)) {
+					return corruptf("bad attr name at %d", pos)
 				}
 				pos += n
 				vlen, n := binary.Uvarint(s.code[pos:])
-				if n <= 0 || pos+n+int(vlen) > len(s.code) {
-					return fmt.Errorf("storage: bad attr value at %d", pos)
+				if n <= 0 || vlen > uint64(len(s.code)-pos-n) {
+					return corruptf("bad attr value at %d", pos)
 				}
 				pos += n
 				attrs = append(attrs, xmltree.Attr{Name: s.tags[nameID], Value: string(s.code[pos : pos+int(vlen)])})
@@ -153,8 +184,8 @@ func (s *Segment) Scan(visit func(Event) bool) error {
 			}
 		case opText:
 			tlen, n := binary.Uvarint(s.code[pos:])
-			if n <= 0 || pos+n+int(tlen) > len(s.code) {
-				return fmt.Errorf("storage: bad text at %d", pos)
+			if n <= 0 || tlen > uint64(len(s.code)-pos-n) {
+				return corruptf("bad text at %d", pos)
 			}
 			pos += n
 			if !visit(Event{Kind: EventText, Text: string(s.code[pos : pos+int(tlen)])}) {
@@ -163,18 +194,18 @@ func (s *Segment) Scan(visit func(Event) bool) error {
 			pos += int(tlen)
 		case opClose:
 			if depth == 0 {
-				return fmt.Errorf("storage: unbalanced close at %d", pos-1)
+				return corruptf("unbalanced close at %d", pos-1)
 			}
 			depth--
 			if !visit(Event{Kind: EventClose}) {
 				return nil
 			}
 		default:
-			return fmt.Errorf("storage: unknown opcode %#x at %d", op, pos-1)
+			return corruptf("unknown opcode %#x at %d", op, pos-1)
 		}
 	}
 	if depth != 0 {
-		return fmt.Errorf("storage: %d unclosed element(s)", depth)
+		return corruptf("%d unclosed element(s)", depth)
 	}
 	return nil
 }
@@ -198,7 +229,10 @@ func (s *Segment) Decode() (*xmltree.Document, error) {
 	}
 	doc, err := b.Done()
 	if err != nil {
-		return nil, fmt.Errorf("storage: decode: %w", err)
+		// A scan the bytecode validator accepted but the tree builder
+		// rejects (e.g. text outside any element) is still a corrupt
+		// segment: Encode never produces such shapes.
+		return nil, corruptf("decode: %v", err)
 	}
 	doc.Bytes = int64(s.Size())
 	return doc, nil
@@ -222,16 +256,39 @@ func (s *Segment) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary parses a marshaled segment.
+// UnmarshalBinary parses a marshaled segment, copying the bytecode out
+// of data so the segment stays valid after the caller reuses the buffer.
+// Decode errors wrap ErrCorrupt.
 func (s *Segment) UnmarshalBinary(data []byte) error {
+	if err := s.view(data); err != nil {
+		return err
+	}
+	s.code = append([]byte(nil), s.code...)
+	return nil
+}
+
+// View parses a marshaled segment without copying: the returned
+// segment's bytecode aliases data, so data must stay valid (and
+// unmodified) for the segment's lifetime. This is the segment store's
+// mmap read path — the topology bytecode is scanned straight out of the
+// mapped file. Decode errors wrap ErrCorrupt.
+func View(data []byte) (*Segment, error) {
+	s := &Segment{}
+	if err := s.view(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Segment) view(data []byte) error {
 	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
-		return fmt.Errorf("storage: bad magic")
+		return corruptf("bad magic")
 	}
 	pos := len(magic)
 	read := func() (uint64, error) {
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
-			return 0, fmt.Errorf("storage: truncated varint at %d", pos)
+			return 0, corruptf("truncated varint at %d", pos)
 		}
 		pos += n
 		return v, nil
@@ -244,14 +301,24 @@ func (s *Segment) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Every tag costs at least one byte (its length varint) and every
+	// node at least one bytecode byte, so counts past the remaining input
+	// are corrupt. Checking before the make() caps allocation at the
+	// input's own size.
+	if ntags > uint64(len(data)-pos) {
+		return corruptf("tag count %d exceeds input", ntags)
+	}
+	if nodes > uint64(len(data)-pos) {
+		return corruptf("node count %d exceeds input", nodes)
+	}
 	tags := make([]string, 0, ntags)
 	for i := uint64(0); i < ntags; i++ {
 		l, err := read()
 		if err != nil {
 			return err
 		}
-		if pos+int(l) > len(data) {
-			return fmt.Errorf("storage: truncated tag at %d", pos)
+		if l > uint64(len(data)-pos) {
+			return corruptf("truncated tag at %d", pos)
 		}
 		tags = append(tags, string(data[pos:pos+int(l)]))
 		pos += int(l)
@@ -260,12 +327,12 @@ func (s *Segment) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	if pos+int(clen) > len(data) {
-		return fmt.Errorf("storage: truncated code at %d", pos)
+	if clen > uint64(len(data)-pos) {
+		return corruptf("truncated code at %d", pos)
 	}
 	s.nodes = int(nodes)
 	s.tags = tags
-	s.code = append([]byte(nil), data[pos:pos+int(clen)]...)
+	s.code = data[pos : pos+int(clen) : pos+int(clen)]
 	return nil
 }
 

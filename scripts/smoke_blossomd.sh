@@ -293,4 +293,99 @@ if [ "$status" -ne 0 ]; then
     exit 1
 fi
 echo "smoke: clean shutdown (feedback daemon)"
+
+# --- Persistent segment store: load-persist-restart round-trip. -------
+# The first run parses the XML file and persists it into -data; the
+# restart must announce "document served from segment store" (no
+# re-parse) and become ready in under a second.
+datadir="$workdir/segments"
+xmlfile="$workdir/bib.xml"
+cat >"$xmlfile" <<'XML'
+<bib><book><title>TCP/IP Illustrated</title><price>65.95</price></book><book><title>Data on the Web</title><price>39.95</price></book></bib>
+XML
+
+out4="$workdir/stdout4"
+log4="$workdir/stderr4"
+"$bin" -addr 127.0.0.1:0 -data "$datadir" -load "$xmlfile" >"$out4" 2>"$log4" &
+pid=$!
+addr=
+for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: persist daemon died during startup" >&2
+        cat "$log4" >&2
+        exit 1
+    fi
+    addr=$(sed -n 's/^blossomd listening on //p' "$out4")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: persist daemon never announced its address" >&2; exit 1; }
+grep -q "document persisted" "$log4" || {
+    echo "smoke: first -data run did not persist the document:" >&2
+    cat "$log4" >&2
+    exit 1
+}
+resp=$(curl -sS -X POST "http://$addr/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "//book/title"}')
+case $resp in
+*'"count":2'*) ;;
+*)
+    echo "smoke: persist daemon query did not return 2 titles: $resp" >&2
+    exit 1
+    ;;
+esac
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+[ "$status" -eq 0 ] || { echo "smoke: persist daemon exited $status on SIGTERM" >&2; cat "$log4" >&2; exit 1; }
+[ -f "$datadir/manifest.json" ] || { echo "smoke: no manifest in $datadir after shutdown" >&2; exit 1; }
+[ -f "$datadir/feedback.json" ] || { echo "smoke: no feedback file in $datadir after graceful shutdown" >&2; exit 1; }
+echo "smoke: segment store persisted (manifest + feedback present)"
+
+# Restart against the same store: served from segments, ready fast.
+out5="$workdir/stdout5"
+log5="$workdir/stderr5"
+start_ns=$(date +%s%N)
+"$bin" -addr 127.0.0.1:0 -data "$datadir" -load "$xmlfile" >"$out5" 2>"$log5" &
+pid=$!
+addr=
+for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: restarted daemon died during startup" >&2
+        cat "$log5" >&2
+        exit 1
+    fi
+    addr=$(sed -n 's/^blossomd listening on //p' "$out5")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: restarted daemon never announced its address" >&2; exit 1; }
+ready_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+grep -q "document served from segment store" "$log5" || {
+    echo "smoke: restart re-parsed instead of serving from the segment store:" >&2
+    cat "$log5" >&2
+    exit 1
+}
+if [ "$ready_ms" -ge 1000 ]; then
+    echo "smoke: restart took ${ready_ms}ms to become ready (want < 1000ms)" >&2
+    exit 1
+fi
+resp=$(curl -sS -X POST "http://$addr/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "//book/title"}')
+case $resp in
+*'"count":2'*) ;;
+*)
+    echo "smoke: restarted daemon query did not return 2 titles: $resp" >&2
+    exit 1
+    ;;
+esac
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=
+[ "$status" -eq 0 ] || { echo "smoke: restarted daemon exited $status on SIGTERM" >&2; cat "$log5" >&2; exit 1; }
+echo "smoke: segment store restart OK (served from store, ready in ${ready_ms}ms)"
 echo "smoke: PASS"
